@@ -1,0 +1,143 @@
+"""A1 — ablations of this implementation's design choices.
+
+Three choices DESIGN.md calls out:
+
+1. **greedy-fill post-augmentation** (solver refinement): how much of the
+   practical utility comes from reclaiming deliveries the worst-case
+   machinery discards?
+2. **lazy-heap greedy**: same output value as the scan version, how much
+   work saved?
+3. **DES load sweep**: where does the exponential-cost policy's
+   selectivity start paying off against threshold admission?
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy, greedy_lazy
+from repro.core.skew import classify_and_select
+from repro.core.solver import greedy_fill, solve_mmd
+from repro.instances.generators import random_smd
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.policies import AllocatePolicy, ThresholdPolicy
+from repro.sim.simulation import ArrivalModel, compare_policies
+
+from benchmarks.common import run_once, stage_section
+
+
+def bench_a1_greedy_fill_ablation(benchmark):
+    def experiment():
+        rows = []
+        for alpha in (4.0, 64.0):
+            for seed in range(3):
+                inst = random_smd(12, 5, skew=alpha, seed=90_000 + seed)
+                pure = classify_and_select(inst)
+                filled = greedy_fill(inst, pure)
+                rows.append(
+                    {
+                        "alpha": alpha,
+                        "seed": seed,
+                        "pure": pure.utility(),
+                        "filled": filled.utility(),
+                    }
+                )
+        return rows
+
+    data = run_once(benchmark, experiment)
+    rows = [
+        [r["alpha"], r["seed"], r["pure"], r["filled"],
+         f"{r['filled'] / max(r['pure'], 1e-12):.2f}x"]
+        for r in data
+    ]
+    stage_section(
+        "A1a",
+        "Ablation — greedy-fill post-augmentation",
+        "Classify-and-select keeps one skew class; greedy-fill reclaims any "
+        "delivery still individually feasible. Fill never hurts (monotone) and "
+        "typically recovers the utility the classification discarded — it is "
+        "why the pipeline dominates threshold admission in practice (E8).",
+        ["skew α", "seed", "pure §3 utility", "with fill", "gain"],
+        rows,
+    )
+    for r in data:
+        assert r["filled"] >= r["pure"] - 1e-9
+
+
+def bench_a1_lazy_vs_scan(benchmark):
+    def experiment():
+        from repro.instances.generators import random_unit_skew_smd
+        from repro.util.timing import Timer
+
+        rows = []
+        for num_streams in (100, 300):
+            inst = random_unit_skew_smd(
+                num_streams, num_streams // 10, seed=91_000 + num_streams, density=0.3
+            )
+            t_scan, t_lazy = Timer(), Timer()
+            with t_scan:
+                scan_value = greedy(inst).assignment.utility()
+            with t_lazy:
+                lazy_value = greedy_lazy(inst).assignment.utility()
+            rows.append(
+                {
+                    "n": num_streams,
+                    "scan_ms": t_scan.elapsed * 1000,
+                    "lazy_ms": t_lazy.elapsed * 1000,
+                    "same_value": abs(scan_value - lazy_value) < 1e-9,
+                }
+            )
+        return rows
+
+    data = run_once(benchmark, experiment)
+    rows = [
+        [r["n"], f"{r['scan_ms']:.1f} ms", f"{r['lazy_ms']:.1f} ms",
+         "yes" if r["same_value"] else "NO"]
+        for r in data
+    ]
+    stage_section(
+        "A1b",
+        "Ablation — lazy-heap vs. scan greedy",
+        "The lazy variant exploits monotone residual decrease (Lemma 2.1's "
+        "submodularity); it must produce the same utility.",
+        ["streams", "scan time", "lazy time", "same utility"],
+        rows,
+    )
+    for r in data:
+        assert r["same_value"]
+
+
+def bench_a1_load_sweep(benchmark):
+    def experiment():
+        inst = iptv_neighborhood_workload(num_channels=30, num_households=10, seed=42)
+        rows = []
+        for rate in (0.5, 2.0, 6.0):
+            reports = compare_policies(
+                inst,
+                [ThresholdPolicy(), AllocatePolicy()],
+                horizon=300.0,
+                model=ArrivalModel(rate=rate, mean_duration=40.0),
+                seed=17,
+            )
+            rows.append(
+                {
+                    "rate": rate,
+                    "threshold": reports[0].utility_time,
+                    "allocate": reports[1].utility_time,
+                }
+            )
+        return rows
+
+    data = run_once(benchmark, experiment)
+    rows = [
+        [r["rate"], r["threshold"], r["allocate"],
+         f"{r['allocate'] / max(r['threshold'], 1e-12):.2f}x"]
+        for r in data
+    ]
+    stage_section(
+        "A1c",
+        "Ablation — DES arrival-rate sweep (threshold vs. Allocate)",
+        "At low load everything fits and blind admission is fine; as load "
+        "grows, selectivity matters. The sweep locates the crossover.",
+        ["arrival rate", "threshold utility·time", "allocate utility·time", "allocate/threshold"],
+        rows,
+    )
+    assert data

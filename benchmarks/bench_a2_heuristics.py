@@ -1,0 +1,87 @@
+"""A2 — bracketing the guaranteed pipeline with unguaranteed heuristics.
+
+The paper's pipeline trades practical utility for a worst-case bound.
+This ablation brackets it between two deployment-grade heuristics with
+no guarantees — LP randomized rounding and swap local search — and the
+exact optimum, on instances small enough to solve exactly.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.localsearch import local_search
+from repro.core.optimal import solve_exact_milp
+from repro.core.rounding import lp_rounding
+from repro.core.solver import solve_mmd
+from repro.instances.generators import random_mmd, random_smd
+
+from benchmarks.common import run_once, stage_section
+
+
+def _families():
+    return {
+        "SMD skew 8": [
+            random_smd(9 + i, 4, skew=8.0, seed=95_000 + i) for i in range(5)
+        ],
+        "MMD 2x2": [
+            random_mmd(7 + i, 3, m=2, mc=2, seed=96_000 + i) for i in range(5)
+        ],
+    }
+
+
+def bench_a2_heuristic_bracket(benchmark):
+    def experiment():
+        rows = []
+        for family, instances in _families().items():
+            fractions: dict[str, list[float]] = {
+                "paper pipeline": [],
+                "LP rounding": [],
+                "local search": [],
+            }
+            feasible = True
+            for inst in instances:
+                opt = solve_exact_milp(inst).utility
+                if opt == 0:
+                    continue
+                solutions = {
+                    "paper pipeline": solve_mmd(inst).assignment,
+                    "LP rounding": lp_rounding(inst, seed=1, trials=5),
+                    "local search": local_search(inst, max_iterations=60),
+                }
+                for name, a in solutions.items():
+                    feasible = feasible and a.is_feasible()
+                    fractions[name].append(a.utility() / opt)
+            for name, values in fractions.items():
+                rows.append(
+                    {
+                        "family": family,
+                        "algorithm": name,
+                        "mean_frac": statistics.mean(values),
+                        "min_frac": min(values),
+                        "feasible": feasible,
+                    }
+                )
+        return rows
+
+    data = run_once(benchmark, experiment)
+    rows = [
+        [r["family"], r["algorithm"], f"{100 * r['mean_frac']:.1f}%",
+         f"{100 * r['min_frac']:.1f}%", "yes" if r["feasible"] else "NO"]
+        for r in data
+    ]
+    stage_section(
+        "A2",
+        "Ablation — guaranteed pipeline vs. unguaranteed heuristics",
+        "LP randomized rounding (with alteration + fill) and 1-swap local "
+        "search have no worst-case bounds for MMD; the paper pipeline does. "
+        "Fractions of the exact optimum achieved, 5 instances per family.",
+        ["family", "algorithm", "mean % of OPT", "worst % of OPT", "all feasible"],
+        rows,
+        notes="The pipeline's guarantee costs little on random instances: all "
+        "three methods land in the same band, and only the pipeline keeps a "
+        "proof when an adversary designs the input (cf. E6, E8).",
+    )
+    for r in data:
+        assert r["feasible"]
+        assert r["min_frac"] > 0.2  # nothing collapses on random inputs

@@ -1,0 +1,105 @@
+"""A3 — how much does the paper's two-level model give away on deep trees?
+
+The paper constrains the server egress and each access link — exactly a
+two-level distribution tree.  Real plants have interior links (fiber
+nodes, service groups).  This ablation solves the *projected* two-level
+MMD and checks the solution against the real tree: violated interior
+links measure the modeling gap; the tree-aware greedy shows what
+respecting them costs in utility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.solver import solve_mmd
+from repro.network.admission import tree_greedy, tree_threshold
+from repro.network.multicast import (
+    assignment_is_tree_feasible,
+    link_loads,
+    project_to_mmd,
+)
+from repro.network.topology import build_plant
+from repro.util.rng import ensure_rng
+
+from benchmarks.common import run_once, stage_section
+
+
+def _setup(seed: int):
+    tree = build_plant(3, 2, 4, seed=seed, server_capacity=400.0)
+    rng = ensure_rng(seed + 1)
+    streams = []
+    for i in range(20):
+        rate = float(rng.choice([2.5, 8.0, 16.0], p=[0.4, 0.5, 0.1]))
+        streams.append(Stream(f"ch{i:02d}", (rate,), attrs={"bitrate": rate}))
+    utilities = {}
+    for idx, uid in enumerate(tree.leaves):
+        prefs = {}
+        for i in range(20):
+            if rng.random() < 0.5:
+                prefs[f"ch{i:02d}"] = float(rng.uniform(1.0, 10.0) / (1 + i * 0.2))
+        utilities[uid] = prefs
+    return tree, streams, utilities
+
+
+def bench_a3_tree_vs_projection(benchmark):
+    def experiment():
+        results = []
+        for seed in (201, 202, 203):
+            tree, streams, utilities = _setup(seed)
+            projected = project_to_mmd(tree, streams, utilities)
+            mmd_solution = solve_mmd(projected).assignment
+            tree_ok = assignment_is_tree_feasible(tree, projected, mmd_solution)
+            overloaded = 0
+            loads = link_loads(tree, projected, mmd_solution)
+            for edge, load in loads.items():
+                capacity = tree.capacity(edge)
+                if not math.isinf(capacity) and load > capacity * (1 + 1e-9):
+                    overloaded += 1
+            greedy_tree = tree_greedy(tree, projected)
+            threshold_tree = tree_threshold(tree, projected)
+            results.append(
+                {
+                    "seed": seed,
+                    "mmd_utility": mmd_solution.utility(),
+                    "tree_feasible": tree_ok,
+                    "overloaded_links": overloaded,
+                    "tree_greedy": greedy_tree.utility(),
+                    "tree_threshold": threshold_tree.utility(),
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [
+            r["seed"],
+            r["mmd_utility"],
+            "yes" if r["tree_feasible"] else "NO",
+            r["overloaded_links"],
+            r["tree_greedy"],
+            r["tree_threshold"],
+        ]
+        for r in results
+    ]
+    stage_section(
+        "A3",
+        "Ablation — two-level model vs. real distribution trees",
+        "The paper's MMD model is the depth-2 special case of a capacitated "
+        "multicast tree (root edge = server budget, access edge = user "
+        "capacity). Solving the two-level projection of a depth-4 HFC plant "
+        "and replaying the answer on the real tree shows whether interior "
+        "links (fiber nodes, service groups) get overloaded; the tree-aware "
+        "greedy respects them by construction.",
+        ["seed", "two-level MMD utility", "tree-feasible?",
+         "overloaded interior links", "tree-greedy utility", "tree-threshold utility"],
+        rows,
+        notes="Tree-greedy's utility is directly comparable to the two-level "
+        "solution only when the latter is tree-feasible; otherwise the "
+        "two-level number is an over-promise the plant cannot deliver.",
+    )
+    for r in results:
+        # Tree-aware algorithms are feasible by construction.
+        assert r["tree_greedy"] >= 0
+    assert results

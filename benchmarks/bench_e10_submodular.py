@@ -1,0 +1,102 @@
+"""E10 — §4.1's closing remark: submodular maximization under m knapsacks.
+
+Paper claim: the normalize-and-sum reduction plus Sviridenko's algorithm
+maximizes any nonnegative nondecreasing submodular function under m
+budget constraints with an O(m) loss — explicitly (2m-1)·e/(e-1) in this
+implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.core.submodular import multi_budget_submodular
+from repro.util.rng import ensure_rng
+
+from benchmarks.common import run_once, stage_section
+
+E_FACTOR = math.e / (math.e - 1.0)
+
+
+def _random_coverage(rng, num_items=8, num_elements=14):
+    items = {}
+    for i in range(num_items):
+        size = int(rng.integers(1, 5))
+        items[f"x{i}"] = set(
+            int(e) for e in rng.choice(num_elements, size=size, replace=False)
+        )
+
+    def fn(selected: frozenset) -> float:
+        covered = set()
+        for item in selected:
+            covered |= items[item]
+        return float(len(covered))
+
+    return items, fn
+
+
+def _exhaustive_optimum(fn, ground, vectors, budgets):
+    best = 0.0
+    for r in range(len(ground) + 1):
+        for combo in itertools.combinations(ground, r):
+            if all(
+                sum(vectors[i][j] for i in combo) <= budgets[j] + 1e-12
+                for j in range(len(budgets))
+            ):
+                best = max(best, fn(frozenset(combo)))
+    return best
+
+
+def bench_e10_multi_budget_submodular(benchmark):
+    def experiment():
+        results = []
+        for m in (1, 2, 3):
+            worst = 1.0
+            for trial in range(5):
+                rng = ensure_rng(70_000 + m * 100 + trial)
+                items, fn = _random_coverage(rng)
+                ground = sorted(items)
+                vectors = {
+                    item: tuple(float(rng.uniform(0.5, 3.0)) for _ in range(m))
+                    for item in ground
+                }
+                budgets = tuple(
+                    max(
+                        max(vectors[item][j] for item in ground),
+                        0.4 * sum(vectors[item][j] for item in ground),
+                    )
+                    for j in range(m)
+                )
+                opt = _exhaustive_optimum(fn, ground, vectors, budgets)
+                if opt == 0:
+                    continue
+                chosen = multi_budget_submodular(fn, ground, vectors, budgets, depth=2)
+                for j in range(m):
+                    used = sum(vectors[item][j] for item in chosen)
+                    assert used <= budgets[j] * (1 + 1e-9)
+                worst = max(worst, opt / max(fn(chosen), 1e-12))
+            bound = (2 * m - 1) * E_FACTOR
+            results.append({"m": m, "worst": worst, "bound": bound})
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [r["m"], 5, r["worst"], r["bound"],
+         "yes" if r["worst"] <= r["bound"] + 1e-9 else "NO"]
+        for r in results
+    ]
+    stage_section(
+        "E10",
+        "Submodular maximization under m knapsacks (§4.1 remark)",
+        "Reduce m budgets to one (normalize and sum), run the partial-"
+        "enumeration greedy, split by the Fig. 3 decomposition, keep the best "
+        "group: an O(m)-approximation — explicitly (2m-1)·e/(e-1). Measured on "
+        "random weighted-coverage functions vs. exhaustive optima.",
+        ["m", "trials", "worst ratio", "bound (2m-1)·e/(e-1)", "within bound"],
+        rows,
+    )
+    for r in results:
+        assert r["worst"] <= r["bound"] + 1e-9

@@ -1,0 +1,92 @@
+"""E4 — §3 classify-and-select across local skew α (Theorem 3.1).
+
+Paper claim: arbitrary-skew SMD is solved within a factor
+``2·t·ρ`` where ``t = 1+⌊log₂ α⌋`` skew classes and ``ρ = 3e/(e-1)`` is
+the per-class greedy factor — i.e. the loss grows logarithmically in α.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import FEASIBLE_FACTOR
+from repro.core.optimal import solve_exact_milp
+from repro.core.skew import classify_and_select, num_skew_classes
+from repro.core.solver import solve_smd
+from repro.instances.generators import random_smd
+
+from benchmarks.common import run_once, stage_section
+
+ALPHAS = [1.0, 4.0, 16.0, 64.0, 256.0]
+INSTANCES_PER_ALPHA = 6
+
+
+def bench_e4_skew_classes(benchmark):
+    def experiment():
+        results = []
+        for alpha in ALPHAS:
+            worst_pure = 1.0
+            worst_solver = 1.0
+            measured_alpha = 1.0
+            classes_seen = 0
+            for i in range(INSTANCES_PER_ALPHA):
+                inst = random_smd(
+                    num_streams=8 + i,
+                    num_users=3 + i % 3,
+                    skew=alpha,
+                    seed=40_000 + int(alpha) * 100 + i,
+                )
+                opt = solve_exact_milp(inst).utility
+                if opt == 0:
+                    continue
+                pure = classify_and_select(inst).utility()
+                solver = solve_smd(inst).utility
+                worst_pure = max(worst_pure, opt / max(pure, 1e-12))
+                worst_solver = max(worst_solver, opt / max(solver, 1e-12))
+                measured_alpha = max(measured_alpha, inst.local_skew())
+                classes_seen = max(
+                    classes_seen,
+                    num_skew_classes(max(inst.local_skew(), 1.0))
+                    + (1 if inst.has_free_pairs() else 0),
+                )
+            bound = 2.0 * max(classes_seen, 1) * FEASIBLE_FACTOR
+            results.append(
+                {
+                    "alpha": alpha,
+                    "measured_alpha": measured_alpha,
+                    "classes": classes_seen,
+                    "worst_pure": worst_pure,
+                    "worst_solver": worst_solver,
+                    "bound": bound,
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [
+            r["alpha"],
+            r["measured_alpha"],
+            r["classes"],
+            r["worst_pure"],
+            r["worst_solver"],
+            r["bound"],
+            "yes" if r["worst_pure"] <= r["bound"] + 1e-9 else "NO",
+        ]
+        for r in results
+    ]
+    stage_section(
+        "E4",
+        "Classify-and-select across local skew (Theorem 3.1)",
+        "An O(log 2α)-factor loss: the bound is 2·t·(3e/(e-1)) with "
+        "t = 1+⌊log₂ α⌋ classes (+1 free class when zero-load pairs exist). "
+        "'pure §3' is classify-and-select alone; 'solver' adds the monotone "
+        "greedy-fill refinement.",
+        ["target α", "measured α", "classes t", "worst ratio (pure §3)",
+         "worst ratio (solver)", "paper bound", "within bound"],
+        rows,
+        notes="The bound grows with log α while measured ratios stay nearly "
+        "flat — the classification loss is a worst-case artifact on random "
+        "instances, exactly what the theory predicts (bounds, not typical case).",
+    )
+    for r in results:
+        assert r["worst_pure"] <= r["bound"] + 1e-9
+        assert r["worst_solver"] <= r["worst_pure"] + 1e-9

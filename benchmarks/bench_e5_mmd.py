@@ -1,0 +1,78 @@
+"""E5 — §4 multi-budget pipeline across (m, m_c) (Theorem 4.4 / 1.1).
+
+Paper claim: MMD is approximated within
+``O(m·m_c·log(2αm_c))`` — explicitly
+``(2m-1)(2m_c-1) · 2t · 3e/(e-1)`` in this implementation's constants.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimal import solve_exact_milp
+from repro.core.solver import solve_mmd, theorem_1_1_bound
+from repro.instances.generators import random_mmd
+
+from benchmarks.common import run_once, stage_section
+
+GRID = [(1, 1), (2, 1), (2, 2), (3, 2), (4, 2), (3, 3)]
+INSTANCES_PER_CELL = 5
+
+
+def bench_e5_mmd_grid(benchmark):
+    def experiment():
+        results = []
+        for m, mc in GRID:
+            worst = 1.0
+            mean_acc = 0.0
+            count = 0
+            bound = 1.0
+            for i in range(INSTANCES_PER_CELL):
+                inst = random_mmd(
+                    num_streams=7 + i,
+                    num_users=3 + i % 2,
+                    m=m,
+                    mc=mc,
+                    seed=50_000 + m * 1000 + mc * 100 + i,
+                )
+                opt = solve_exact_milp(inst).utility
+                if opt == 0:
+                    continue
+                result = solve_mmd(inst)
+                assert result.assignment.is_feasible()
+                ratio = opt / max(result.utility, 1e-12)
+                worst = max(worst, ratio)
+                mean_acc += ratio
+                count += 1
+                bound = max(bound, theorem_1_1_bound(inst))
+            results.append(
+                {
+                    "m": m,
+                    "mc": mc,
+                    "mean": mean_acc / max(count, 1),
+                    "worst": worst,
+                    "bound": bound,
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [r["m"], r["mc"], INSTANCES_PER_CELL, r["mean"], r["worst"], r["bound"],
+         "yes" if r["worst"] <= r["bound"] + 1e-9 else "NO"]
+        for r in results
+    ]
+    stage_section(
+        "E5",
+        "Full MMD pipeline across (m, m_c) (Theorems 4.4 and 1.1)",
+        "The reduction + classification + greedy pipeline approximates MMD "
+        "within (2m-1)(2m_c-1)·2t·3e/(e-1) — the explicit form of the paper's "
+        "O(m·m_c·log(2αm_c)). Worst measured OPT/ALG per grid cell must stay "
+        "below the per-instance bound.",
+        ["m", "m_c", "instances", "mean ratio", "worst ratio", "Thm 1.1 bound", "within bound"],
+        rows,
+        notes="Measured ratios are near 1–3 while bounds grow into the "
+        "hundreds: the pipeline's practical performance is far better than its "
+        "worst-case guarantee, as §4.2's explicit family (E6) is needed to "
+        "exhibit real degradation.",
+    )
+    for r in results:
+        assert r["worst"] <= r["bound"] + 1e-9

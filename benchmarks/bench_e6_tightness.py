@@ -1,0 +1,85 @@
+"""E6 — §4.2 tightness of the Theorem 4.3 decomposition.
+
+Paper claim: the m·m_c loss of the output transformation is real — on
+the explicit §4.2 family, the decomposition's candidate set contains a
+candidate worth only ``OPT/(m·m_c)``.  (An implementation that picks the
+best post-repair candidate — ours — escapes with OPT/m here, which the
+table also shows.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.optimal import solve_exact_milp
+from repro.core.reduction import reduce_to_single_budget
+from repro.core.solver import solve_mmd
+from repro.instances.generators import tightness_instance
+
+from benchmarks.common import run_once, stage_section
+
+FAMILY = [(2, 2), (3, 2), (3, 3), (4, 3), (4, 4)]
+
+
+def _adversarial_candidate_utility(inst, m, mc):
+    """The §4.2 walk-through: decompose the full solution, restrict to the
+    small-stream group, repair the user — one 1/m_c stream survives."""
+    red = reduce_to_single_budget(inst)
+    full = Assignment(red.reduced)
+    for sid in red.reduced.stream_ids():
+        full.add_stream_to_all(sid)
+    small = [f"s{j:03d}" for j in range(m, m + mc)]
+    restricted = full.on_instance(inst).restrict(small)
+    repaired = red._repair_users(restricted)
+    assert repaired.is_feasible()
+    return repaired.utility()
+
+
+def bench_e6_tightness(benchmark):
+    def experiment():
+        results = []
+        for m, mc in FAMILY:
+            inst = tightness_instance(m, mc)
+            opt = solve_exact_milp(inst).utility
+            pipeline = solve_mmd(inst, try_allocate=False)
+            adversarial = _adversarial_candidate_utility(inst, m, mc)
+            results.append(
+                {
+                    "m": m,
+                    "mc": mc,
+                    "opt": opt,
+                    "pipeline": pipeline.utility,
+                    "pipeline_ratio": opt / max(pipeline.utility, 1e-12),
+                    "adversarial": adversarial,
+                    "adversarial_ratio": opt / max(adversarial, 1e-12),
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [
+            r["m"], r["mc"], r["opt"], r["pipeline"], r["pipeline_ratio"],
+            r["adversarial"], r["adversarial_ratio"], r["m"] * r["mc"],
+        ]
+        for r in results
+    ]
+    stage_section(
+        "E6",
+        "Tightness of the decomposition analysis (§4.2)",
+        "On the explicit family, OPT = m; the §4 candidate set contains a "
+        "candidate of utility OPT/(m·m_c) (the 'adversarial candidate' column "
+        "realizes it, ratio = m·m_c exactly), demonstrating Theorem 4.3's "
+        "analysis is tight. Our best-post-repair implementation achieves "
+        "a ratio of about m on the same instances.",
+        ["m", "m_c", "OPT", "pipeline utility", "pipeline ratio",
+         "adversarial candidate", "adversarial ratio", "m·m_c (tightness)"],
+        rows,
+    )
+    for r in results:
+        assert r["opt"] == pytest.approx(r["m"])
+        # The adversarial candidate realizes the full m·mc loss.
+        assert r["adversarial_ratio"] == pytest.approx(r["m"] * r["mc"], rel=1e-6)
+        # Our implementation does no worse than m on this family.
+        assert r["pipeline_ratio"] <= r["m"] + 1e-6

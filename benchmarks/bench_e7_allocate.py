@@ -1,0 +1,91 @@
+"""E7 — §5 online Allocate on small streams (Lemma 5.1, Theorem 5.4).
+
+Paper claims: when every stream costs at most a ``1/log₂ µ`` fraction of
+every budget, Algorithm Allocate (run online, any arrival order, no
+revocations) violates no budget and is ``(1 + 2·log₂ µ)``-competitive.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocate import OnlineAllocator, allocate, small_streams_condition
+from repro.core.optimal import solve_exact_milp
+from repro.instances.generators import small_streams_mmd
+
+from benchmarks.common import run_once, stage_section
+
+CONFIGS = [
+    {"num_streams": 15, "num_users": 4, "m": 1, "mc": 1},
+    {"num_streams": 20, "num_users": 5, "m": 1, "mc": 1},
+    {"num_streams": 15, "num_users": 4, "m": 2, "mc": 1},
+    {"num_streams": 12, "num_users": 4, "m": 2, "mc": 2},
+]
+ORDERS = ["forward", "reverse", "by-utility"]
+
+
+def _order(inst, kind):
+    if kind == "forward":
+        return inst.stream_ids()
+    if kind == "reverse":
+        return list(reversed(inst.stream_ids()))
+    return sorted(inst.stream_ids(), key=lambda s: inst.total_utility(s))
+
+
+def bench_e7_allocate(benchmark):
+    def experiment():
+        results = []
+        for idx, cfg in enumerate(CONFIGS):
+            inst = small_streams_mmd(seed=60_000 + idx, **cfg)
+            assert small_streams_condition(inst)
+            opt = solve_exact_milp(inst).utility
+            worst_ratio = 1.0
+            bound = 0.0
+            mu = 0.0
+            gamma = 0.0
+            violations = 0
+            for kind in ORDERS:
+                # Feasibility is checked with the hard guard OFF: the
+                # exponential costs alone must protect the budgets.
+                allocator = OnlineAllocator(inst, enforce_budgets=False)
+                for sid in _order(inst, kind):
+                    allocator.offer(sid)
+                if not allocator.assignment.is_feasible():
+                    violations += 1
+                achieved = allocator.assignment.utility()
+                if opt > 0:
+                    worst_ratio = max(worst_ratio, opt / max(achieved, 1e-12))
+                bound = allocator.competitive_bound
+                mu = allocator.mu
+                gamma = allocator.gamma
+            results.append(
+                {
+                    "config": f"|S|={cfg['num_streams']} m={cfg['m']} mc={cfg['mc']}",
+                    "gamma": gamma,
+                    "mu": mu,
+                    "bound": bound,
+                    "worst_ratio": worst_ratio,
+                    "violations": violations,
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [r["config"], r["gamma"], r["mu"], r["worst_ratio"], r["bound"],
+         r["violations"],
+         "yes" if r["worst_ratio"] <= r["bound"] + 1e-9 and r["violations"] == 0 else "NO"]
+        for r in results
+    ]
+    stage_section(
+        "E7",
+        "Online Allocate on small streams (Lemma 5.1, Theorem 5.4)",
+        "With c_i(S) ≤ B_i/log₂ µ in every measure, Allocate never violates a "
+        "budget (Lemma 5.1 — hard guard disabled in this measurement) and is "
+        "(1+2·log₂ µ)-competitive (Theorem 5.4). Worst ratio is over three "
+        "adversarial arrival orders per instance, vs. the offline MILP optimum.",
+        ["instance", "global skew γ", "µ", "worst ratio (3 orders)",
+         "competitive bound", "budget violations", "within bound"],
+        rows,
+    )
+    for r in results:
+        assert r["violations"] == 0
+        assert r["worst_ratio"] <= r["bound"] + 1e-9

@@ -1,0 +1,72 @@
+"""E7b — §5 footnote 1: Allocate with finite-duration streams.
+
+Paper claim: Algorithm Allocate "can also be extended to scenarios where
+streams have dynamic resource requirements, so long as their
+requirements are known when they arrive.  This includes, for example,
+streams of finite duration."  The time-expanded allocator must keep
+every (budget, slot) feasible, and overlapping demand — not total demand
+— is what limits admission.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic import TimedAllocator
+from repro.instances.generators import small_streams_mmd
+from repro.util.rng import ensure_rng
+
+from benchmarks.common import run_once, stage_section
+
+
+def bench_e7b_timed_allocate(benchmark):
+    def experiment():
+        results = []
+        for overlap_label, spread in [("heavy overlap", 5.0), ("spread out", 40.0)]:
+            inst = small_streams_mmd(num_streams=16, num_users=4, seed=97_001)
+            rng = ensure_rng(97_002)
+            horizon = 60.0
+            alloc = TimedAllocator(inst, horizon=horizon, enforce_budgets=False)
+            granted = 0
+            offered = 0
+            for sid in inst.stream_ids():
+                start = float(rng.uniform(0.0, spread))
+                duration = float(rng.uniform(4.0, 10.0))
+                duration = min(duration, horizon - start)
+                offered += 1
+                if alloc.offer(sid, start=start, duration=duration):
+                    granted += 1
+            results.append(
+                {
+                    "scenario": overlap_label,
+                    "offered": offered,
+                    "granted": granted,
+                    "utility_time": alloc.total_utility_time(),
+                    "peak_load": alloc.peak_load(),
+                    "feasible": alloc.is_feasible(),
+                    "bound": alloc.competitive_bound,
+                }
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    rows = [
+        [r["scenario"], f"{r['granted']}/{r['offered']}", r["utility_time"],
+         r["peak_load"], r["bound"], "yes" if r["feasible"] else "NO"]
+        for r in results
+    ]
+    stage_section(
+        "E7b",
+        "Finite-duration streams (§5, footnote 1)",
+        "The time-expanded allocator treats each (budget, slot) pair as a "
+        "virtual budget. With identical session statistics, spreading arrivals "
+        "over time admits at least as much as forcing them to overlap — "
+        "capacity is about *concurrent* demand — and no slot ever exceeds "
+        "its budget (hard guard disabled).",
+        ["scenario", "granted", "utility·time", "peak slot load",
+         "competitive bound", "feasible"],
+        rows,
+    )
+    for r in results:
+        assert r["feasible"]
+        assert r["peak_load"] <= 1.0 + 1e-9
+    spread, heavy = results[1], results[0]
+    assert spread["granted"] >= heavy["granted"]

@@ -1,0 +1,89 @@
+"""E9 — the Fig. 1 system, animated: online policies in a dynamic DES.
+
+The ICDCS deployment story: stream sessions arrive and depart at a
+gateway with a bounded egress link; the admission policy decides what to
+carry and deliver.  Same arrival trace for every policy (common random
+numbers); the metric is time-integrated utility.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.policies import (
+    AllocatePolicy,
+    DensityPolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.sim.simulation import ArrivalModel, compare_policies
+
+from benchmarks.common import run_once, stage_section
+
+SEEDS = [11, 22, 33]
+HORIZON = 400.0
+MODEL = ArrivalModel(rate=2.0, mean_duration=40.0, popularity_exponent=1.0)
+
+
+def _policies():
+    return [
+        ThresholdPolicy(margin=1.0),
+        AllocatePolicy(),
+        DensityPolicy(quantile=0.5),
+        RandomPolicy(p=0.5, seed=7),
+    ]
+
+
+def bench_e9_dynamic_policies(benchmark):
+    def experiment():
+        per_policy: dict[str, list] = {}
+        for seed in SEEDS:
+            inst = iptv_neighborhood_workload(
+                num_channels=30, num_households=10, seed=seed
+            )
+            reports = compare_policies(
+                inst, _policies(), horizon=HORIZON, model=MODEL, seed=seed
+            )
+            for report in reports:
+                key = report.policy_name.split("(")[0]
+                per_policy.setdefault(key, []).append(report)
+        return per_policy
+
+    per_policy = run_once(benchmark, experiment)
+    rows = []
+    means = {}
+    for name, reports in per_policy.items():
+        utilities = [r.utility_time for r in reports]
+        mean_utility = statistics.mean(utilities)
+        means[name] = mean_utility
+        rows.append(
+            [
+                name,
+                mean_utility,
+                statistics.stdev(utilities) if len(utilities) > 1 else 0.0,
+                statistics.mean([r.acceptance_rate for r in reports]),
+                max(
+                    max(r.peak_server_utilization.values(), default=0.0)
+                    for r in reports
+                ),
+            ]
+        )
+    rows.sort(key=lambda row: -row[1])
+    stage_section(
+        "E9",
+        "Dynamic admission control in the Fig. 1 system (DES)",
+        "Poisson session arrivals (rate 2, mean lifetime 40, Zipf-1 stream "
+        "popularity) at an IPTV gateway over 3 seeds × 400 time units; all "
+        "policies replay identical traces. Peak utilization must never exceed "
+        "1.0 (hard feasibility).",
+        ["policy", "mean utility·time", "std", "acceptance rate", "peak link utilization"],
+        rows,
+        notes="Threshold admits everything that fits (high acceptance); the "
+        "exponential-cost policy is selective under load. Which wins depends "
+        "on load and utility skew — see E8 for the static gap and the "
+        "ablation bench (A1) for the load sweep.",
+    )
+    for row in rows:
+        assert row[-1] <= 1.0 + 1e-9
+    assert means  # at least one policy ran

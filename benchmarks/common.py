@@ -1,0 +1,38 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench:
+
+1. runs its experiment once inside ``benchmark.pedantic`` (so
+   pytest-benchmark records wall-clock time without re-running expensive
+   MILP solves);
+2. prints its table (visible with ``pytest -s``);
+3. stages the same table as a markdown section under
+   ``benchmarks/results/`` — ``bench_z_report.py`` (alphabetically last)
+   assembles all staged sections into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.reporting import STAGING_ENV, experiment_section
+
+#: Where sections are staged (created on first use).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+#: Repository root (EXPERIMENTS.md lives here).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def stage_section(*args, **kwargs) -> str:
+    """experiment_section with the staging dir forced to benchmarks/results."""
+    os.environ[STAGING_ENV] = str(RESULTS_DIR)
+    section = experiment_section(*args, **kwargs)
+    print()
+    print(section)
+    return section
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Dynamic simulation: admission policies at a live IPTV gateway.
+
+Stream sessions arrive as a Poisson process and depart after exponential
+lifetimes; while a session is active, every receiving household accrues
+its utility per unit time.  Four policies replay the *same* arrival
+trace (common random numbers):
+
+- threshold admission — the deployed baseline the paper argues against;
+- Allocate — the paper's §5 exponential-cost online algorithm;
+- density — utility-aware but state-blind;
+- random — the noise floor.
+
+Run:  python examples/gateway_simulation.py
+"""
+
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim import (
+    AllocatePolicy,
+    DensityPolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.sim.simulation import ArrivalModel, compare_policies
+from repro.util.tables import Table
+
+
+def main() -> None:
+    instance = iptv_neighborhood_workload(
+        num_channels=30, num_households=12, seed=5
+    )
+    model = ArrivalModel(rate=3.0, mean_duration=30.0, popularity_exponent=1.0)
+    horizon = 500.0
+    print(f"workload: {instance}")
+    print(f"arrivals: Poisson rate {model.rate}/unit, mean lifetime "
+          f"{model.mean_duration}, Zipf({model.popularity_exponent}) popularity")
+    print(f"horizon : {horizon} time units\n")
+
+    policies = [
+        ThresholdPolicy(margin=1.0),
+        AllocatePolicy(),
+        DensityPolicy(quantile=0.5),
+        RandomPolicy(p=0.5, seed=1),
+    ]
+    reports = compare_policies(instance, policies, horizon, model, seed=99)
+
+    table = Table(
+        ["policy", "utility·time", "mean rate", "accepted", "peak link load"],
+        title="Same trace, four policies:",
+    )
+    for report in sorted(reports, key=lambda r: -r.utility_time):
+        table.add_row(
+            [
+                report.policy_name,
+                report.utility_time,
+                report.mean_utility_rate,
+                f"{report.admitted}/{report.offered}",
+                max(report.peak_server_utilization.values(), default=0.0),
+            ]
+        )
+    print(table.render())
+    print("\nPeak link load never exceeds 1.0: the simulator hard-enforces")
+    print("feasibility, and well-behaved policies never trigger the guard.")
+
+
+if __name__ == "__main__":
+    main()

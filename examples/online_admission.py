@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Online admission with Algorithm Allocate (paper §5).
+
+Streams arrive one by one; the allocator must decide immediately and
+irrevocably whether to carry each stream and who receives it.  When all
+streams are "small" (cost at most a 1/log₂ µ fraction of every budget),
+the exponential-cost rule never violates a budget (Lemma 5.1) and is
+(1 + 2·log₂ µ)-competitive against the offline optimum (Theorem 5.4).
+
+The script shows three different arrival orders producing different —
+but always feasible, always competitive — outcomes.
+
+Run:  python examples/online_admission.py
+"""
+
+from repro import OnlineAllocator, small_streams_condition, solve_exact_milp
+from repro.instances.generators import small_streams_mmd
+
+
+def run_order(instance, order, label):
+    allocator = OnlineAllocator(instance, enforce_budgets=False)
+    for sid in order:
+        receivers = allocator.offer(sid)
+        marker = f"-> {len(receivers)} users" if receivers else "-> rejected"
+        if sid in order[:4]:  # only narrate the first few arrivals
+            print(f"    offer {sid}: {marker}")
+    achieved = allocator.assignment.utility()
+    print(f"  [{label}] utility={achieved:.1f} "
+          f"feasible={allocator.assignment.is_feasible()} "
+          f"loads={max(allocator.normalized_loads().values()):.2f} peak")
+    return achieved
+
+
+def main() -> None:
+    instance = small_streams_mmd(num_streams=20, num_users=5, m=2, mc=1, seed=11)
+    print(f"instance   : {instance}")
+    print(f"small?     : {small_streams_condition(instance)}")
+
+    allocator = OnlineAllocator(instance)
+    print(f"global skew: γ = {allocator.gamma:.2f}")
+    print(f"µ          : {allocator.mu:.1f}")
+    print(f"competitive: {allocator.competitive_bound:.1f}x (Theorem 5.4)\n")
+
+    orders = {
+        "catalog order": instance.stream_ids(),
+        "reverse order": list(reversed(instance.stream_ids())),
+        "worst-first": sorted(instance.stream_ids(),
+                              key=lambda s: instance.total_utility(s)),
+    }
+    opt = solve_exact_milp(instance).utility
+    print(f"offline OPT = {opt:.1f}\n")
+    for label, order in orders.items():
+        achieved = run_order(instance, order, label)
+        print(f"    ratio vs OPT: {opt / max(achieved, 1e-9):.2f}x "
+              f"(bound {allocator.competitive_bound:.1f}x)\n")
+
+
+if __name__ == "__main__":
+    main()

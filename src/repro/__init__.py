@@ -1,0 +1,157 @@
+"""repro — Video Distribution Under Multiple Constraints.
+
+A reproduction of Patt-Shamir & Rawitz (ICDCS 2008 / TCS 2011): the
+Multi-budget Multi-client Distribution (MMD) problem, its approximation
+algorithms, the online small-streams algorithm, exact reference solvers,
+workload generators, and a discrete-event video-distribution simulator.
+
+Quickstart::
+
+    from repro import unit_skew_instance, solve_smd
+
+    instance = unit_skew_instance(
+        stream_costs={"news": 4.0, "sports": 8.0, "movies": 6.0},
+        budget=10.0,
+        utilities={
+            "home-a": {"news": 3.0, "sports": 9.0},
+            "home-b": {"movies": 5.0, "news": 2.0},
+        },
+        utility_caps={"home-a": 10.0, "home-b": 6.0},
+    )
+    result = solve_smd(instance)
+    print(result.utility, result.assignment.as_dict())
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+from repro.core.allocate import (
+    AllocateResult,
+    OnlineAllocator,
+    allocate,
+    small_streams_condition,
+)
+from repro.core.assignment import Assignment, best_assignment, saturating_assignment
+from repro.core.baselines import (
+    density_greedy,
+    random_admission,
+    threshold_admission,
+    utility_greedy,
+)
+from repro.core.dynamic import TimedAllocator, TimedGrant
+from repro.core.enumeration import partial_enumeration, partial_enumeration_feasible
+from repro.core.localsearch import local_search
+from repro.core.rounding import lp_rounding
+from repro.core.greedy import (
+    GreedyTrace,
+    best_single_stream_assignment,
+    greedy,
+    greedy_feasible,
+    greedy_lazy,
+    greedy_with_best_stream,
+)
+from repro.core.instance import (
+    MMDInstance,
+    Stream,
+    User,
+    sanitize_utilities,
+    smd_instance,
+    unit_skew_instance,
+)
+from repro.core.optimal import (
+    ExactSolution,
+    lp_upper_bound,
+    solve_exact_bruteforce,
+    solve_exact_milp,
+)
+from repro.core.reduction import (
+    SingleBudgetReduction,
+    reduce_to_single_budget,
+    solve_by_reduction,
+    unit_interval_decomposition,
+    utility_cap_as_capacity,
+)
+from repro.core.skew import SkewClass, classify_and_select, classify_by_skew
+from repro.core.solver import (
+    SolveResult,
+    best_single_stream_mmd,
+    greedy_fill,
+    solve_mmd,
+    solve_smd,
+    theorem_1_1_bound,
+)
+from repro.core.utility import CoverageUtility
+from repro.exceptions import (
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # data model
+    "MMDInstance",
+    "Stream",
+    "User",
+    "Assignment",
+    "smd_instance",
+    "unit_skew_instance",
+    "sanitize_utilities",
+    "best_assignment",
+    "saturating_assignment",
+    "CoverageUtility",
+    # §2 algorithms
+    "greedy",
+    "greedy_lazy",
+    "greedy_feasible",
+    "greedy_with_best_stream",
+    "best_single_stream_assignment",
+    "GreedyTrace",
+    "partial_enumeration",
+    "partial_enumeration_feasible",
+    # §3 / §4 reductions
+    "classify_by_skew",
+    "classify_and_select",
+    "SkewClass",
+    "reduce_to_single_budget",
+    "solve_by_reduction",
+    "unit_interval_decomposition",
+    "utility_cap_as_capacity",
+    "SingleBudgetReduction",
+    # §5 online (+ footnote-1 finite-duration extension)
+    "OnlineAllocator",
+    "allocate",
+    "AllocateResult",
+    "small_streams_condition",
+    "TimedAllocator",
+    "TimedGrant",
+    # end-to-end solvers and heuristics
+    "solve_smd",
+    "solve_mmd",
+    "SolveResult",
+    "best_single_stream_mmd",
+    "greedy_fill",
+    "theorem_1_1_bound",
+    "local_search",
+    "lp_rounding",
+    # exact reference
+    "solve_exact_milp",
+    "solve_exact_bruteforce",
+    "lp_upper_bound",
+    "ExactSolution",
+    # baselines
+    "threshold_admission",
+    "utility_greedy",
+    "density_greedy",
+    "random_admission",
+    # exceptions
+    "ReproError",
+    "ValidationError",
+    "InfeasibleError",
+    "SolverError",
+    "SimulationError",
+    "__version__",
+]

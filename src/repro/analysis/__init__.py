@@ -1,0 +1,14 @@
+"""Experiment harness: empirical ratios, sweeps, and report formatting."""
+
+from repro.analysis.experiments import ExperimentResult, run_sweep
+from repro.analysis.ratios import RatioStats, measure_ratios
+from repro.analysis.reporting import experiment_section, write_experiments_md
+
+__all__ = [
+    "ExperimentResult",
+    "run_sweep",
+    "RatioStats",
+    "measure_ratios",
+    "experiment_section",
+    "write_experiments_md",
+]

@@ -1,0 +1,91 @@
+"""Terminal plotting for benchmark and CLI output (no matplotlib offline).
+
+Two primitives cover the harness's needs:
+
+- :func:`bar_chart` — horizontal labeled bars (policy comparisons);
+- :func:`line_plot` — a braille-free, character-grid XY plot (scaling
+  curves, load traces).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart.
+
+    >>> print(bar_chart(["a", "b"], [10, 5], width=10))
+    a | ██████████ 10
+    b | █████ 5
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * max(0, int(round(width * value / peak)))
+        shown = f"{value:g}{unit}"
+        lines.append(f"{label.ljust(label_width)} | {bar} {shown}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Character-grid XY plot with axis annotations."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return "(no data)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = f"{y_max:>10.3g} ┤"
+        elif r == height - 1:
+            prefix = f"{y_min:>10.3g} ┤"
+        else:
+            prefix = " " * 10 + " │"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<12.3g}" + " " * max(0, width - 24) + f"{x_max:>12.3g}"
+    )
+    if x_label or y_label:
+        lines.append(" " * 12 + f"x: {x_label}   y: {y_label}".rstrip())
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend: ▁▂▃▄▅▆▇█ buckets."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = max(high - low, 1e-12)
+    return "".join(
+        blocks[min(int((v - low) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in values
+    )

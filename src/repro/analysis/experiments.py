@@ -1,0 +1,42 @@
+"""Parameter-sweep plumbing shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+
+@dataclass
+class ExperimentResult:
+    """One sweep point: the parameters and whatever the runner measured."""
+
+    params: "dict[str, Any]"
+    metrics: "dict[str, Any]" = field(default_factory=dict)
+
+    def row(self, param_keys: "list[str]", metric_keys: "list[str]") -> "list[Any]":
+        return [self.params.get(k) for k in param_keys] + [
+            self.metrics.get(k) for k in metric_keys
+        ]
+
+
+def run_sweep(
+    runner: "Callable[..., Mapping[str, Any]]",
+    grid: "Iterable[Mapping[str, Any]]",
+) -> "list[ExperimentResult]":
+    """Call ``runner(**params)`` for every parameter dict in ``grid``.
+
+    The runner returns a metrics mapping; results preserve grid order.
+    """
+    results = []
+    for params in grid:
+        metrics = dict(runner(**params))
+        results.append(ExperimentResult(params=dict(params), metrics=metrics))
+    return results
+
+
+def grid(**axes: "Iterable[Any]") -> "list[dict[str, Any]]":
+    """Cartesian product of named axes, e.g. ``grid(m=[1,2], mc=[1,2])``."""
+    points: "list[dict[str, Any]]" = [{}]
+    for name, values in axes.items():
+        points = [dict(p, **{name: v}) for p in points for v in values]
+    return points

@@ -1,0 +1,89 @@
+"""Empirical approximation-ratio measurement.
+
+The paper's results are worst-case bounds; the reproduction checks them
+by measuring ``OPT / ALG`` over instance ensembles, where OPT comes
+from the exact MILP (or the LP relaxation as an upper bound when exact
+solving is too slow — this yields a *pessimistic* ratio estimate, so a
+bound that holds against the LP holds against OPT too).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance
+from repro.core.optimal import lp_upper_bound, solve_exact_milp
+
+Algorithm = Callable[[MMDInstance], Assignment]
+
+
+@dataclass
+class RatioStats:
+    """Summary of measured ratios for one algorithm over an ensemble.
+
+    Ratios are ``reference / achieved`` (1.0 = optimal); ``worst`` is
+    what must stay below the paper's bound.
+    """
+
+    algorithm: str
+    ratios: "list[float]" = field(default_factory=list)
+    infeasible_count: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.ratios)
+
+    @property
+    def worst(self) -> float:
+        return max(self.ratios) if self.ratios else math.nan
+
+    @property
+    def best(self) -> float:
+        return min(self.ratios) if self.ratios else math.nan
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ratios) / len(self.ratios) if self.ratios else math.nan
+
+    def record(self, reference: float, achieved: float, feasible: bool) -> None:
+        if not feasible:
+            self.infeasible_count += 1
+        if achieved <= 0:
+            if reference <= 0:
+                self.ratios.append(1.0)
+            else:
+                self.ratios.append(math.inf)
+            return
+        self.ratios.append(reference / achieved)
+
+    def row(self, bound: float) -> "list[object]":
+        """A report row: [algorithm, n, mean, worst, paper bound, ok?]."""
+        ok = self.worst <= bound * (1 + 1e-9) and self.infeasible_count == 0
+        return [self.algorithm, self.count, self.mean, self.worst, bound, "yes" if ok else "NO"]
+
+
+def measure_ratios(
+    algorithms: "dict[str, Algorithm]",
+    instances: Iterable[MMDInstance],
+    reference: str = "milp",
+) -> "dict[str, RatioStats]":
+    """Run every algorithm on every instance against the reference optimum.
+
+    ``reference`` is ``"milp"`` (exact) or ``"lp"`` (upper bound; the
+    measured ratios then over-estimate the true ones).
+    """
+    if reference not in ("milp", "lp"):
+        raise ValueError(f"unknown reference {reference!r}")
+    stats = {name: RatioStats(name) for name in algorithms}
+    for instance in instances:
+        if reference == "milp":
+            ref_value = solve_exact_milp(instance).utility
+        else:
+            ref_value = lp_upper_bound(instance)
+        for name, algorithm in algorithms.items():
+            solution = algorithm(instance)
+            stats[name].record(ref_value, solution.utility(), solution.is_feasible())
+    return stats

@@ -1,0 +1,73 @@
+"""EXPERIMENTS.md rendering.
+
+Every benchmark prints its table to stdout and (optionally, when
+``REPRO_WRITE_EXPERIMENTS`` is set) appends the same table to a staging
+area consumed by :func:`write_experiments_md`, so the recorded report is
+exactly what the harness measured.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.util.tables import Table
+
+#: Staging directory for experiment sections (one file per experiment id).
+STAGING_ENV = "REPRO_EXPERIMENTS_DIR"
+
+
+def experiment_section(
+    experiment_id: str,
+    title: str,
+    paper_claim: str,
+    columns: Sequence[str],
+    rows: Iterable[Iterable[Any]],
+    notes: str = "",
+) -> str:
+    """Render one experiment's markdown section (also returned for stdout)."""
+    table = Table(list(columns))
+    for row in rows:
+        table.add_row(row)
+    parts = [
+        f"## {experiment_id} — {title}",
+        "",
+        f"**Paper claim.** {paper_claim}",
+        "",
+        table.render_markdown(),
+    ]
+    if notes:
+        parts.extend(["", notes])
+    section = "\n".join(parts) + "\n"
+    staging = os.environ.get(STAGING_ENV)
+    if staging:
+        path = Path(staging)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"{experiment_id}.md").write_text(section)
+    return section
+
+
+def _experiment_sort_key(path: Path) -> "tuple[int, int, str]":
+    """Natural ordering: theorem experiments (E1..E10) first, figure
+    reproductions (F*) next, ablations (A*) last; numeric ids sorted
+    numerically so E10 follows E9."""
+    stem = path.stem
+    category = {"E": 0, "F": 1, "A": 2}.get(stem[:1], 3)
+    digits = "".join(ch for ch in stem[1:] if ch.isdigit())
+    return (category, int(digits) if digits else 0, stem)
+
+
+def write_experiments_md(
+    staging_dir: str,
+    output_path: str,
+    header: str,
+) -> str:
+    """Assemble staged sections (naturally ordered by experiment id)."""
+    staging = Path(staging_dir)
+    sections = []
+    for section_file in sorted(staging.glob("*.md"), key=_experiment_sort_key):
+        sections.append(section_file.read_text())
+    document = header.rstrip() + "\n\n" + "\n".join(sections)
+    Path(output_path).write_text(document)
+    return document

@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Emit an instance (JSON) from a named family or workload.
+``info``
+    Print an instance's parameters: shape, skews, theorem bounds.
+``solve``
+    Run the paper pipeline (and optionally the exact solver) on an
+    instance file; print the solution summary.
+``simulate``
+    Run the discrete-event simulator on a named workload under one or
+    more policies and print the comparison table.
+
+All commands read/write plain JSON so they compose with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.allocate import global_skew_parameters, small_streams_condition
+from repro.core.instance import MMDInstance
+from repro.core.optimal import lp_upper_bound, solve_exact_milp
+from repro.core.solver import solve_mmd, theorem_1_1_bound
+from repro.instances.generators import (
+    random_mmd,
+    random_smd,
+    random_unit_skew_smd,
+    small_streams_mmd,
+    tightness_instance,
+)
+from repro.instances.workloads import (
+    cable_headend_workload,
+    iptv_neighborhood_workload,
+    small_streams_workload,
+)
+from repro.util.tables import Table
+
+#: Named generators reachable from ``generate --family``.
+FAMILIES = {
+    "unit-skew-smd": lambda args: random_unit_skew_smd(
+        args.streams, args.users, seed=args.seed
+    ),
+    "smd": lambda args: random_smd(args.streams, args.users, args.skew, seed=args.seed),
+    "mmd": lambda args: random_mmd(
+        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed
+    ),
+    "small-streams": lambda args: small_streams_mmd(
+        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed
+    ),
+    "tightness": lambda args: tightness_instance(args.m, args.mc),
+    "cable-headend": lambda args: cable_headend_workload(
+        num_channels=args.streams, num_gateways=args.users, seed=args.seed
+    ),
+    "iptv": lambda args: iptv_neighborhood_workload(
+        num_channels=args.streams, num_households=args.users, seed=args.seed
+    ),
+    "small-streams-workload": lambda args: small_streams_workload(
+        num_channels=args.streams, num_households=args.users, seed=args.seed
+    ),
+}
+
+WORKLOADS = {
+    "iptv": iptv_neighborhood_workload,
+    "cable-headend": cable_headend_workload,
+    "small-streams": small_streams_workload,
+}
+
+
+def _load_instance(path: str) -> MMDInstance:
+    text = Path(path).read_text() if path != "-" else sys.stdin.read()
+    return MMDInstance.from_json(text)
+
+
+def _write(text: str, output: "str | None") -> None:
+    if output and output != "-":
+        Path(output).write_text(text)
+    else:
+        print(text)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    instance = FAMILIES[args.family](args)
+    _write(instance.to_json(), args.output)
+    return 0
+
+
+def _loose_instance(data: dict) -> MMDInstance:
+    """Rebuild an instance with the strict overload check disabled
+    (everything else is still validated)."""
+    import math as _math
+
+    from repro.core.instance import Stream, User
+
+    def num(x):
+        return _math.inf if x == "inf" else float(x)
+
+    streams = [
+        Stream(s["stream_id"], tuple(s["costs"]), s.get("name", ""), s.get("attrs", {}))
+        for s in data["streams"]
+    ]
+    users = [
+        User(
+            user_id=u["user_id"],
+            utility_cap=num(u["utility_cap"]),
+            capacities=tuple(num(k) for k in u["capacities"]),
+            utilities={sid: float(w) for sid, w in u["utilities"].items()},
+            loads={sid: tuple(vec) for sid, vec in u.get("loads", {}).items()},
+            attrs=u.get("attrs", {}),
+        )
+        for u in data["users"]
+    ]
+    budgets = tuple(num(b) for b in data["budgets"])
+    return MMDInstance(streams, users, budgets, name=data.get("name", ""), strict=False)
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Validate an instance file; ``--sanitize`` repairs violations of the
+    paper's convention that ``w_u(S) = 0`` when a single stream's load
+    exceeds a capacity."""
+    from repro.core.instance import sanitize_utilities
+    from repro.exceptions import ValidationError
+
+    text = Path(args.instance).read_text() if args.instance != "-" else sys.stdin.read()
+    try:
+        instance = MMDInstance.from_json(text)
+    except (ValidationError, KeyError, TypeError, json.JSONDecodeError) as exc:
+        if not args.sanitize:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        try:
+            repaired = sanitize_utilities(_loose_instance(json.loads(text)))
+        except (ValidationError, KeyError, json.JSONDecodeError) as inner:
+            print(f"INVALID (unrepairable): {inner}", file=sys.stderr)
+            return 1
+        _write(repaired.to_json(), args.output)
+        print(
+            "REPAIRED (w_u(S) zeroed where a single stream overloads a capacity)",
+            file=sys.stderr,
+        )
+        return 0
+    print(f"OK: {instance}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    gamma, mu, d = global_skew_parameters(instance)
+    rows = [
+        ["name", instance.name or "(unnamed)"],
+        ["streams", instance.num_streams],
+        ["users", instance.num_users],
+        ["server budgets (m)", instance.m],
+        ["capacity measures (m_c)", instance.mc],
+        ["input length n", instance.input_length],
+        ["local skew α", instance.local_skew()],
+        ["global skew γ", gamma],
+        ["µ = 2γD+2", mu],
+        ["small-streams precondition", "yes" if small_streams_condition(instance) else "no"],
+        ["Theorem 1.1 bound", theorem_1_1_bound(instance)],
+        ["trivial utility upper bound", instance.max_total_utility()],
+    ]
+    table = Table(["property", "value"], title=f"Instance {args.instance}")
+    for row in rows:
+        table.add_row(row)
+    print(table.render())
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance)
+    result = solve_mmd(instance, method=args.method)
+    table = Table(["field", "value"], title="Solution")
+    table.add_row(["method", result.method])
+    table.add_row(["utility", result.utility])
+    table.add_row(["feasible", str(result.assignment.is_feasible())])
+    table.add_row(["worst-case guarantee", result.guarantee])
+    table.add_row(["streams carried", len(result.assignment.assigned_streams())])
+    if args.exact:
+        opt = solve_exact_milp(instance).utility
+        table.add_row(["exact optimum (MILP)", opt])
+        table.add_row(["measured ratio", opt / max(result.utility, 1e-12)])
+    elif args.bound:
+        bound = lp_upper_bound(instance)
+        table.add_row(["LP upper bound", bound])
+        table.add_row(["ratio vs LP bound", bound / max(result.utility, 1e-12)])
+    print(table.render())
+    if args.output:
+        payload = {
+            "method": result.method,
+            "utility": result.utility,
+            "guarantee": result.guarantee,
+            "assignment": {
+                uid: sorted(streams)
+                for uid, streams in result.assignment.as_dict().items()
+            },
+        }
+        _write(json.dumps(payload, indent=2), args.output)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.ascii_plot import bar_chart
+    from repro.sim.policies import (
+        AllocatePolicy,
+        DensityPolicy,
+        RandomPolicy,
+        ThresholdPolicy,
+    )
+    from repro.sim.simulation import ArrivalModel, compare_policies
+
+    policy_factories = {
+        "threshold": ThresholdPolicy,
+        "allocate": AllocatePolicy,
+        "density": DensityPolicy,
+        "random": lambda: RandomPolicy(seed=args.seed),
+    }
+    unknown = [p for p in args.policies if p not in policy_factories]
+    if unknown:
+        print(f"unknown policies: {unknown}; pick from {sorted(policy_factories)}",
+              file=sys.stderr)
+        return 2
+    instance = WORKLOADS[args.workload](seed=args.seed)
+    model = ArrivalModel(rate=args.rate, mean_duration=args.duration)
+    reports = compare_policies(
+        instance,
+        [policy_factories[p]() for p in args.policies],
+        horizon=args.horizon,
+        model=model,
+        seed=args.seed,
+    )
+    table = Table(
+        ["policy", "utility·time", "accept", "peak load", "fairness"],
+        title=f"{args.workload} | rate={args.rate} duration={args.duration} "
+        f"horizon={args.horizon}",
+    )
+    for report in sorted(reports, key=lambda r: -r.utility_time):
+        table.add_row(
+            [
+                report.policy_name,
+                report.utility_time,
+                report.acceptance_rate,
+                max(report.peak_server_utilization.values(), default=0.0),
+                report.jain_fairness,
+            ]
+        )
+    print(table.render())
+    print()
+    print(
+        bar_chart(
+            [r.policy_name for r in reports],
+            [r.utility_time for r in reports],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Video distribution under multiple constraints (ICDCS 2008) — "
+        "solvers, generators, and simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="emit an instance as JSON")
+    gen.add_argument("--family", choices=sorted(FAMILIES), default="unit-skew-smd")
+    gen.add_argument("--streams", type=int, default=20)
+    gen.add_argument("--users", type=int, default=8)
+    gen.add_argument("--m", type=int, default=2)
+    gen.add_argument("--mc", type=int, default=1)
+    gen.add_argument("--skew", type=float, default=8.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", "-o", default="-")
+    gen.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="print instance parameters and bounds")
+    info.add_argument("instance", help="instance JSON path (or - for stdin)")
+    info.set_defaults(func=cmd_info)
+
+    validate = sub.add_parser("validate", help="validate (optionally repair) an instance")
+    validate.add_argument("instance", help="instance JSON path (or - for stdin)")
+    validate.add_argument("--sanitize", action="store_true",
+                          help="zero utilities whose single-stream load exceeds "
+                          "a capacity (the paper's convention) and emit the repaired instance")
+    validate.add_argument("--output", "-o", default="-")
+    validate.set_defaults(func=cmd_validate)
+
+    solve = sub.add_parser("solve", help="run the paper pipeline on an instance")
+    solve.add_argument("instance", help="instance JSON path (or - for stdin)")
+    solve.add_argument("--method", choices=["greedy", "enumeration"], default="greedy")
+    solve.add_argument("--exact", action="store_true",
+                       help="also solve exactly (MILP) and report the ratio")
+    solve.add_argument("--bound", action="store_true",
+                       help="also compute the LP upper bound")
+    solve.add_argument("--output", "-o", default="",
+                       help="write the assignment JSON here")
+    solve.set_defaults(func=cmd_solve)
+
+    sim = sub.add_parser("simulate", help="run the DES on a named workload")
+    sim.add_argument("--workload", choices=sorted(WORKLOADS), default="iptv")
+    sim.add_argument("--policies", nargs="+",
+                     default=["threshold", "allocate", "density"])
+    sim.add_argument("--rate", type=float, default=2.0)
+    sim.add_argument("--duration", type=float, default=30.0)
+    sim.add_argument("--horizon", type=float, default=300.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

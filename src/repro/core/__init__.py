@@ -1,0 +1,32 @@
+"""Core algorithms and data model for Multi-budget Multi-client Distribution.
+
+This subpackage implements the paper's primary contribution:
+
+- :mod:`repro.core.instance` — the MMD/SMD problem data model (paper §1.1).
+- :mod:`repro.core.assignment` — assignments, feasibility, capped utility.
+- :mod:`repro.core.utility` — the submodular coverage utility (Lemma 2.1).
+- :mod:`repro.core.greedy` — Algorithm *Greedy* and its fixes (§2.1–2.2).
+- :mod:`repro.core.enumeration` — partial enumeration (§2.3).
+- :mod:`repro.core.skew` — classify-and-select over skew classes (§3).
+- :mod:`repro.core.reduction` — MMD→SMD reduction and the interval
+  decomposition output transformation (§4.1, Fig. 3).
+- :mod:`repro.core.allocate` — online Algorithm *Allocate* (§5).
+- :mod:`repro.core.solver` — end-to-end solvers (Theorems 1.1 and 1.2).
+- :mod:`repro.core.optimal` — exact MILP / brute-force solvers and LP bound.
+- :mod:`repro.core.baselines` — threshold admission control and other
+  utility-blind baselines the paper argues against.
+- :mod:`repro.core.submodular` — generic monotone submodular maximization
+  under knapsack constraints (the paper's closing remark of §4.1).
+"""
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance, Stream, User, smd_instance, unit_skew_instance
+
+__all__ = [
+    "Assignment",
+    "MMDInstance",
+    "Stream",
+    "User",
+    "smd_instance",
+    "unit_skew_instance",
+]

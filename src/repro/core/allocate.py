@@ -1,0 +1,347 @@
+"""Algorithm *Allocate* — online allocation of small streams (paper §5).
+
+Every budget — the ``m`` server budgets and each user's capacity
+measures, treated as *virtual budgets* — carries an exponential cost
+``C_A(i) = B_i·(µ^{L_A(i)} - 1)`` in its normalized load ``L_A(i)``.
+A stream ``S_j`` is assigned to a maximal set of users ``U_j`` whose
+total utility covers the marginal exponential cost::
+
+    Σ_{i ∈ M ∪ U_j} (c_i(S_j)/B_i) · C_{A_{j-1}}(i)  ≤  Σ_{u ∈ U_j} w_u(S_j)
+
+Decisions are never revoked, so the algorithm is online.  When every
+stream is *small* — ``c_i(S) ≤ B_i / log₂ µ`` in every measure — no
+budget is ever violated (Lemma 5.1) and the solution is
+``(1 + 2·log₂ µ)``-competitive (Theorem 5.4), where
+``µ = 2γ·(m + |U|·m_c) + 2`` and ``γ`` is the instance's global skew.
+
+The paper presents ``m_c = 1`` and notes the extension to ``m_c > 1`` is
+straightforward; this implementation is the general version: each
+``(user, capacity measure)`` pair is one virtual budget.
+
+Normalization (paper eq. (1)) is applied internally: each cost measure is
+scaled (cost and budget together, which leaves the problem unchanged) so
+that a unit of any cost is worth at least ``m + Σ_u m_c`` of the smallest
+per-user utility; ``γ`` is then the smallest valid upper bound of eq. (1).
+
+Engineering extensions, both off the paper's path but needed by the
+simulation substrate (and the paper's own footnote about streams of
+finite duration):
+
+- ``enforce_budgets=True`` adds a hard admission guard so the allocator
+  is safe on instances that violate the small-streams precondition (the
+  guard provably never fires when the precondition holds);
+- :meth:`OnlineAllocator.release` returns a departed stream's load, for
+  finite-duration sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.assignment import Assignment
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+from repro.exceptions import ValidationError
+
+
+def global_skew_parameters(instance: MMDInstance) -> "tuple[float, float, int]":
+    """Return ``(gamma, mu, D)`` for an instance.
+
+    ``D = m_finite + Σ_u m_c_finite(u)`` counts the budgets with finite
+    caps; ``gamma`` is the global skew of eq. (1) computed on the
+    normalized instance, and ``mu = 2·gamma·D + 2`` (the constant that
+    makes Lemma 5.1 go through; Theorem 1.2 states ``+1``, which does
+    not satisfy the lemma's final inequality — we use ``+2`` from §5).
+    """
+    d = sum(1 for b in instance.budgets if not math.isinf(b))
+    for u in instance.users:
+        d += sum(1 for cap in u.capacities if not math.isinf(cap))
+    d = max(d, 1)
+    gamma = instance.global_skew()
+    mu = 2.0 * gamma * d + 2.0
+    return gamma, mu, d
+
+
+def small_streams_condition(instance: MMDInstance, mu: "float | None" = None) -> bool:
+    """Check the Theorem 1.2 precondition: every stream costs at most a
+    ``1/log₂ µ`` fraction of every finite budget and capacity."""
+    if mu is None:
+        _gamma, mu, _d = global_skew_parameters(instance)
+    log_mu = math.log2(mu)
+    for s in instance.streams:
+        for i, b in enumerate(instance.budgets):
+            if not math.isinf(b) and s.costs[i] > b / log_mu * (1 + FEASIBILITY_RTOL):
+                return False
+    for u in instance.users:
+        for sid in u.utilities:
+            for j, cap in enumerate(u.capacities):
+                if not math.isinf(cap) and u.load(sid, j) > cap / log_mu * (1 + FEASIBILITY_RTOL):
+                    return False
+    return True
+
+
+class OnlineAllocator:
+    """Stateful online allocator (Algorithm 2).
+
+    The stream *catalog* (and hence the normalization and ``µ``) is
+    fixed at construction; the arrival **order** is unknown and streams
+    are offered one at a time via :meth:`offer`.  Decisions are never
+    revoked (except through the explicit :meth:`release` extension).
+
+    Parameters
+    ----------
+    instance:
+        The full instance (catalog, users, budgets).
+    mu:
+        Optional override of the exponential base (for experiments);
+        defaults to ``2γD + 2``.
+    enforce_budgets:
+        Hard admission guard (see module docstring).
+    """
+
+    def __init__(
+        self,
+        instance: MMDInstance,
+        mu: "float | None" = None,
+        enforce_budgets: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.enforce_budgets = enforce_budgets
+        self.gamma, default_mu, self.d = global_skew_parameters(instance)
+        self.mu = default_mu if mu is None else float(mu)
+        if self.mu <= 1.0:
+            raise ValidationError(f"mu must exceed 1, got {self.mu}")
+        self.log_mu = math.log2(self.mu)
+
+        # Per-measure normalization scales λ (cost and budget together):
+        # λ_i = min over streams with c_i(S) > 0 of w_min(S) / (D · c_i(S)).
+        self._min_support_utility: dict[str, float] = {}
+        self._total_support_utility: dict[str, float] = {}
+        for s in instance.streams:
+            ws = [u.utilities[s.stream_id] for u in instance.users if s.stream_id in u.utilities]
+            if ws:
+                self._min_support_utility[s.stream_id] = min(ws)
+                self._total_support_utility[s.stream_id] = sum(ws)
+
+        self._server_measures: "list[int]" = [
+            i for i, b in enumerate(instance.budgets) if not math.isinf(b)
+        ]
+        self._server_scale: dict[int, float] = {}
+        for i in self._server_measures:
+            scale = math.inf
+            for s in instance.streams:
+                wmin = self._min_support_utility.get(s.stream_id)
+                if wmin is not None and s.costs[i] > 0:
+                    scale = min(scale, wmin / (self.d * s.costs[i]))
+            self._server_scale[i] = 1.0 if math.isinf(scale) else scale
+
+        # user_id -> list of finite measure indices, and (u, j) -> scale.
+        self._user_measures: dict[str, "list[int]"] = {}
+        self._user_scale: dict[tuple[str, int], float] = {}
+        for u in instance.users:
+            finite = [j for j, cap in enumerate(u.capacities) if not math.isinf(cap)]
+            self._user_measures[u.user_id] = finite
+            for j in finite:
+                scale = math.inf
+                for sid in u.utilities:
+                    load = u.load(sid, j)
+                    wmin = self._min_support_utility.get(sid)
+                    if wmin is not None and load > 0:
+                        scale = min(scale, wmin / (self.d * load))
+                self._user_scale[(u.user_id, j)] = 1.0 if math.isinf(scale) else scale
+
+        # Normalized loads L(i) ∈ [0, 1] per budget (scale-invariant).
+        self._server_load: dict[int, float] = {i: 0.0 for i in self._server_measures}
+        self._user_load: dict[tuple[str, int], float] = {
+            key: 0.0 for key in self._user_scale
+        }
+        self.assignment = Assignment(instance)
+        self._offered: set[str] = set()
+        self.rejected: "list[str]" = []
+
+    # ------------------------------------------------------------------
+    # Exponential costs
+    # ------------------------------------------------------------------
+
+    def _exp_cost_server(self, i: int) -> float:
+        """``C(i) = B'_i (µ^{L(i)} - 1)`` for a server budget (normalized scale)."""
+        scaled_budget = self._server_scale[i] * self.instance.budgets[i]
+        return scaled_budget * (self.mu ** self._server_load[i] - 1.0)
+
+    def _exp_cost_user(self, user_id: str, j: int) -> float:
+        scaled_cap = self._user_scale[(user_id, j)] * self.instance.user(user_id).capacities[j]
+        return scaled_cap * (self.mu ** self._user_load[(user_id, j)] - 1.0)
+
+    def _server_charge(self, stream_id: str) -> float:
+        """``Σ_{i∈M} (c_i(S)/B_i)·C(i)`` — the server part of the Line 4 test."""
+        s = self.instance.stream(stream_id)
+        total = 0.0
+        for i in self._server_measures:
+            budget = self.instance.budgets[i]
+            if s.costs[i] > 0:
+                total += (s.costs[i] / budget) * self._exp_cost_server(i)
+        return total
+
+    def _user_charge(self, user_id: str, stream_id: str) -> float:
+        """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` — one user's part of the test."""
+        u = self.instance.user(user_id)
+        total = 0.0
+        for j in self._user_measures[user_id]:
+            load = u.load(stream_id, j)
+            if load > 0:
+                total += (load / u.capacities[j]) * self._exp_cost_user(user_id, j)
+        return total
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+
+    def offer(self, stream_id: str) -> "list[str]":
+        """Offer a stream; returns the users it was assigned to (may be
+        empty = rejected).  An *accepted* stream may not be offered again
+        until released; rejected streams may be re-offered (the simulator
+        treats each re-arrival as a fresh request)."""
+        if stream_id in self._offered:
+            raise ValidationError(f"stream {stream_id!r} is already active")
+        stream = self.instance.stream(stream_id)
+
+        interested = [
+            u for u in self.instance.users if stream_id in u.utilities
+        ]
+        if not interested:
+            self.rejected.append(stream_id)
+            return []
+
+        server_charge = self._server_charge(stream_id)
+        charges = {u.user_id: self._user_charge(u.user_id, stream_id) for u in interested}
+        utilities = {u.user_id: u.utilities[stream_id] for u in interested}
+
+        # Maximal U_j: drop users in decreasing order of charge/utility
+        # until the Line 4 condition holds (the paper's note after Alg. 2).
+        selected = sorted(
+            (u.user_id for u in interested),
+            key=lambda uid: (charges[uid] / utilities[uid], uid),
+        )
+        total_charge = server_charge + sum(charges[uid] for uid in selected)
+        total_utility = sum(utilities[uid] for uid in selected)
+        while selected and total_charge > total_utility:
+            dropped = selected.pop()  # largest charge/utility ratio last
+            total_charge -= charges[dropped]
+            total_utility -= utilities[dropped]
+        if not selected:
+            self.rejected.append(stream_id)
+            return []
+
+        if self.enforce_budgets:
+            selected = self._hard_guard(stream_id, stream, selected)
+            if not selected:
+                self.rejected.append(stream_id)
+                return []
+
+        # Commit: server loads increase once, user loads per receiver.
+        self._offered.add(stream_id)
+        for i in self._server_measures:
+            if stream.costs[i] > 0:
+                self._server_load[i] += stream.costs[i] / self.instance.budgets[i]
+        for uid in selected:
+            u = self.instance.user(uid)
+            for j in self._user_measures[uid]:
+                load = u.load(stream_id, j)
+                if load > 0:
+                    self._user_load[(uid, j)] += load / u.capacities[j]
+            self.assignment.add(uid, stream_id)
+        return list(selected)
+
+    def _hard_guard(self, stream_id: str, stream, selected: "list[str]") -> "list[str]":
+        """Drop the stream (or individual users) if committing would exceed
+        a budget.  Never fires under the small-streams precondition."""
+        for i in self._server_measures:
+            budget = self.instance.budgets[i]
+            if self._server_load[i] + stream.costs[i] / budget > 1.0 + FEASIBILITY_RTOL:
+                return []
+        survivors = []
+        for uid in selected:
+            u = self.instance.user(uid)
+            fits = True
+            for j in self._user_measures[uid]:
+                cap = u.capacities[j]
+                if self._user_load[(uid, j)] + u.load(stream_id, j) / cap > 1.0 + FEASIBILITY_RTOL:
+                    fits = False
+                    break
+            if fits:
+                survivors.append(uid)
+        return survivors
+
+    def release(self, stream_id: str) -> None:
+        """Extension for finite-duration sessions: return a stream's load.
+
+        Removes the stream from every receiver and subtracts its server
+        and user loads.  The stream may be offered again afterwards.
+        The §5 competitive analysis covers the arrivals-only model; with
+        releases this is the heuristic policy used by the simulator.
+        """
+        if stream_id not in self._offered:
+            raise ValidationError(f"stream {stream_id!r} was never offered")
+        stream = self.instance.stream(stream_id)
+        receivers = self.assignment.receivers_of(stream_id)
+        if receivers:
+            for i in self._server_measures:
+                if stream.costs[i] > 0:
+                    self._server_load[i] -= stream.costs[i] / self.instance.budgets[i]
+        for uid in receivers:
+            u = self.instance.user(uid)
+            for j in self._user_measures[uid]:
+                load = u.load(stream_id, j)
+                if load > 0:
+                    self._user_load[(uid, j)] -= load / u.capacities[j]
+            self.assignment.discard(uid, stream_id)
+        self._offered.discard(stream_id)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def competitive_bound(self) -> float:
+        """Theorem 5.4's guarantee: ``1 + 2·log₂ µ``."""
+        return 1.0 + 2.0 * self.log_mu
+
+    def normalized_loads(self) -> "dict[str, float]":
+        """Current normalized loads per budget (for diagnostics/metrics)."""
+        loads = {f"server[{i}]": load for i, load in self._server_load.items()}
+        for (uid, j), load in self._user_load.items():
+            loads[f"user[{uid}][{j}]"] = load
+        return loads
+
+
+@dataclass
+class AllocateResult:
+    """Outcome of a batch :func:`allocate` run."""
+
+    assignment: Assignment
+    mu: float
+    gamma: float
+    competitive_bound: float
+    small_streams_ok: bool
+    rejected: "list[str]" = field(default_factory=list)
+
+
+def allocate(
+    instance: MMDInstance,
+    order: "list[str] | None" = None,
+    mu: "float | None" = None,
+    enforce_budgets: bool = True,
+) -> AllocateResult:
+    """Run Algorithm 2 over all streams in the given (default: input) order."""
+    allocator = OnlineAllocator(instance, mu=mu, enforce_budgets=enforce_budgets)
+    sequence = order if order is not None else instance.stream_ids()
+    for sid in sequence:
+        allocator.offer(sid)
+    return AllocateResult(
+        assignment=allocator.assignment,
+        mu=allocator.mu,
+        gamma=allocator.gamma,
+        competitive_bound=allocator.competitive_bound,
+        small_streams_ok=small_streams_condition(instance, allocator.mu),
+        rejected=list(allocator.rejected),
+    )

@@ -1,0 +1,297 @@
+"""Assignments of streams to users, and their feasibility/utility accounting.
+
+An *assignment* ``A`` maps each user ``u`` to a set of streams ``A(u)``.
+Following the paper's glossary (Fig. 2):
+
+- the **range** ``S(A) = ∪_u A(u)`` is the set of streams the server must
+  transmit;
+- the **i-th cost** ``c_i(A) = c_i(S(A))`` is charged once per transmitted
+  stream (multicast: one transmission serves all receivers);
+- the **j-th load on u** ``k^u_j(A) = k^u_j(A(u))`` is charged per receiving
+  user;
+- the **utility** ``w(A) = Σ_u min(W_u, Σ_{S∈A(u)} w_u(S))`` — the paper
+  extends ``w`` to *semi-feasible* assignments by capping each user's
+  contribution at ``W_u`` (§2 Preliminaries).
+
+An assignment is **feasible** when every server budget and every user
+capacity constraint holds; it is **semi-feasible** when only the server
+budgets are guaranteed (Algorithm Greedy works with semi-feasible
+assignments internally, cf. Lemma 2.6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+from repro.exceptions import ValidationError
+
+
+class Assignment:
+    """A (possibly partial) assignment of streams to users.
+
+    Parameters
+    ----------
+    instance:
+        The MMD instance this assignment is over.
+    mapping:
+        Optional initial ``user_id -> iterable of stream_id``.
+    """
+
+    def __init__(
+        self,
+        instance: MMDInstance,
+        mapping: "Mapping[str, Iterable[str]] | None" = None,
+    ) -> None:
+        self.instance = instance
+        self._assigned: dict[str, set[str]] = {u.user_id: set() for u in instance.users}
+        if mapping is not None:
+            for user_id, stream_ids in mapping.items():
+                for sid in stream_ids:
+                    self.add(user_id, sid)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, user_id: str, stream_id: str) -> None:
+        """Assign ``stream_id`` to ``user_id`` (idempotent)."""
+        if user_id not in self._assigned:
+            raise ValidationError(f"unknown user id {user_id!r}")
+        if not self.instance.has_stream(stream_id):
+            raise ValidationError(f"unknown stream id {stream_id!r}")
+        self._assigned[user_id].add(stream_id)
+
+    def add_stream_to_all(self, stream_id: str, only_interested: bool = True) -> "list[str]":
+        """Assign a stream to every user (by default only those with
+        ``w_u(S) > 0``); returns the user ids that received it."""
+        receivers = []
+        for u in self.instance.users:
+            if only_interested and stream_id not in u.utilities:
+                continue
+            self.add(u.user_id, stream_id)
+            receivers.append(u.user_id)
+        return receivers
+
+    def discard(self, user_id: str, stream_id: str) -> None:
+        """Remove a stream from a user's set (no-op if absent)."""
+        if user_id in self._assigned:
+            self._assigned[user_id].discard(stream_id)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def streams_of(self, user_id: str) -> "frozenset[str]":
+        """``A(u)`` — streams assigned to the user."""
+        return frozenset(self._assigned[user_id])
+
+    def assigned_streams(self) -> "set[str]":
+        """The range ``S(A)`` — streams assigned to at least one user."""
+        result: set[str] = set()
+        for streams in self._assigned.values():
+            result |= streams
+        return result
+
+    def receivers_of(self, stream_id: str) -> "list[str]":
+        """Users that receive the given stream."""
+        return [uid for uid, streams in self._assigned.items() if stream_id in streams]
+
+    def is_empty(self) -> bool:
+        return all(not streams for streams in self._assigned.values())
+
+    def as_dict(self) -> "dict[str, set[str]]":
+        """Copy of the underlying mapping."""
+        return {uid: set(streams) for uid, streams in self._assigned.items()}
+
+    # ------------------------------------------------------------------
+    # Costs and loads
+    # ------------------------------------------------------------------
+
+    def server_cost(self, measure: int = 0) -> float:
+        """``c_i(A)`` — total server cost of the range in one measure."""
+        return sum(self.instance.stream(sid).costs[measure] for sid in self.assigned_streams())
+
+    def server_costs(self) -> tuple[float, ...]:
+        """All server costs ``(c_1(A), ..., c_m(A))``."""
+        totals = [0.0] * self.instance.m
+        for sid in self.assigned_streams():
+            for i, c in enumerate(self.instance.stream(sid).costs):
+                totals[i] += c
+        return tuple(totals)
+
+    def user_load(self, user_id: str, measure: int = 0) -> float:
+        """``k^u_j(A)`` — load of ``A(u)`` on one capacity measure."""
+        user = self.instance.user(user_id)
+        return sum(user.load(sid, measure) for sid in self._assigned[user_id])
+
+    def user_loads(self, user_id: str) -> tuple[float, ...]:
+        """All loads of ``A(u)`` on the user's capacity measures."""
+        user = self.instance.user(user_id)
+        totals = [0.0] * user.num_capacity_measures
+        for sid in self._assigned[user_id]:
+            for j, load in enumerate(user.load_vector(sid)):
+                totals[j] += load
+        return tuple(totals)
+
+    # ------------------------------------------------------------------
+    # Utility (paper §2 Preliminaries)
+    # ------------------------------------------------------------------
+
+    def raw_user_utility(self, user_id: str) -> float:
+        """``w_u(A) = Σ_{S∈A(u)} w_u(S)`` — uncapped."""
+        user = self.instance.user(user_id)
+        return sum(user.utility(sid) for sid in self._assigned[user_id])
+
+    def user_utility(self, user_id: str) -> float:
+        """``min(W_u, w_u(A))`` — the capped contribution of one user."""
+        user = self.instance.user(user_id)
+        return min(user.utility_cap, self.raw_user_utility(user_id))
+
+    def utility(self) -> float:
+        """``w(A) = Σ_u min(W_u, w_u(A))`` — total capped utility."""
+        return sum(self.user_utility(u.user_id) for u in self.instance.users)
+
+    def residual_utility(self, user_id: str, stream_id: str) -> float:
+        """The fractional residual utility ``w̄^A_u(S)`` (§2 Preliminaries).
+
+        Zero when the stream is already assigned somewhere in ``A``'s
+        range for this user; otherwise the utility the stream would add
+        to ``u``, clipped by the user's remaining headroom below ``W_u``.
+        """
+        if stream_id in self._assigned[user_id]:
+            return 0.0
+        user = self.instance.user(user_id)
+        w = user.utility(stream_id)
+        if w == 0:
+            return 0.0
+        headroom = user.utility_cap - self.raw_user_utility(user_id)
+        if headroom <= 0:
+            return 0.0
+        return min(w, headroom)
+
+    def fractional_residual_utility(self, stream_id: str) -> float:
+        """``w̄^A(S) = Σ_u w̄^A_u(S)``.
+
+        Per the paper, ``w̄^A(S) = 0`` for streams already in the range
+        ``S(A)`` (they are already transmitted; re-assigning them to
+        additional users is free and handled separately).
+        """
+        if stream_id in self.assigned_streams():
+            return 0.0
+        return sum(self.residual_utility(u.user_id, stream_id) for u in self.instance.users)
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+
+    def is_server_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """All server budget constraints ``c_i(A) <= B_i`` hold."""
+        return all(
+            cost <= budget * (1 + rtol)
+            for cost, budget in zip(self.server_costs(), self.instance.budgets)
+        )
+
+    def is_user_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """All user capacity constraints ``k^u_j(A) <= K^u_j`` hold."""
+        for u in self.instance.users:
+            for load, cap in zip(self.user_loads(u.user_id), u.capacities):
+                if load > cap * (1 + rtol):
+                    return False
+        return True
+
+    def is_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """Feasible = server budgets and user capacities all hold."""
+        return self.is_server_feasible(rtol) and self.is_user_feasible(rtol)
+
+    def is_semi_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """Semi-feasible = server budgets hold (user capacities may not)."""
+        return self.is_server_feasible(rtol)
+
+    def violated_constraints(self, rtol: float = FEASIBILITY_RTOL) -> "list[str]":
+        """Human-readable list of violated constraints (for diagnostics)."""
+        problems = []
+        for i, (cost, budget) in enumerate(zip(self.server_costs(), self.instance.budgets)):
+            if cost > budget * (1 + rtol):
+                problems.append(f"server budget {i}: cost {cost:.6g} > B_{i}={budget:.6g}")
+        for u in self.instance.users:
+            for j, (load, cap) in enumerate(zip(self.user_loads(u.user_id), u.capacities)):
+                if load > cap * (1 + rtol):
+                    problems.append(
+                        f"user {u.user_id} capacity {j}: load {load:.6g} > K={cap:.6g}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def restrict(self, stream_ids: Iterable[str]) -> "Assignment":
+        """``A|_C`` — keep only streams in ``C`` (paper §4.1 output
+        transformation)."""
+        keep = set(stream_ids)
+        return Assignment(
+            self.instance,
+            {uid: streams & keep for uid, streams in self._assigned.items()},
+        )
+
+    def copy(self) -> "Assignment":
+        return Assignment(self.instance, self._assigned)
+
+    def union(self, other: "Assignment") -> "Assignment":
+        """Per-user union of two assignments over the same instance."""
+        if other.instance is not self.instance:
+            raise ValidationError("assignments are over different instances")
+        merged = {
+            uid: self._assigned[uid] | other._assigned[uid] for uid in self._assigned
+        }
+        return Assignment(self.instance, merged)
+
+    def on_instance(self, instance: MMDInstance) -> "Assignment":
+        """Re-interpret this assignment over another instance with the
+        same stream/user ids (used when mapping solutions back through
+        the §3/§4 reductions)."""
+        return Assignment(instance, self._assigned)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self.instance is other.instance and self._assigned == other._assigned
+
+    def __repr__(self) -> str:
+        nonempty = sum(1 for s in self._assigned.values() if s)
+        return (
+            f"Assignment(streams={len(self.assigned_streams())}, "
+            f"users_served={nonempty}, utility={self.utility():.6g})"
+        )
+
+
+def best_assignment(assignments: Iterable[Assignment]) -> Assignment:
+    """Return the assignment of maximum utility (ties: first wins).
+
+    Raises :class:`ValidationError` on an empty iterable.
+    """
+    best: "Assignment | None" = None
+    best_utility = -1.0
+    for a in assignments:
+        u = a.utility()
+        if u > best_utility:
+            best, best_utility = a, u
+    if best is None:
+        raise ValidationError("best_assignment over an empty iterable")
+    return best
+
+
+def saturating_assignment(instance: MMDInstance, stream_ids: Iterable[str]) -> Assignment:
+    """The canonical semi-feasible assignment for a transmitted set ``T``:
+    every user receives every transmitted stream he wants.
+
+    Its capped utility equals the coverage utility ``w(T)`` of
+    Lemma 2.1 (user capacities may be violated — the caller is expected
+    to repair per-user sets afterwards, or to be in the unit-skew
+    setting where capacities coincide with utility caps).
+    """
+    a = Assignment(instance)
+    for sid in stream_ids:
+        a.add_stream_to_all(sid)
+    return a

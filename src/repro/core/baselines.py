@@ -1,0 +1,149 @@
+"""Utility-blind baseline policies the paper argues against (§1).
+
+The paper's motivation: deployed systems use "a simple threshold-based
+admission control policy, where requests are admitted so long as they do
+not go over certain 'safety margins' for the resources in question...
+this approach is somewhat naïve, in that it ignores the possibly very
+different utilities of different streams."
+
+These baselines make that comparison concrete (experiment E8):
+
+- :func:`threshold_admission` — the deployed policy: first come, first
+  served, admit while within per-resource safety margins.
+- :func:`utility_greedy` — order by total utility, ignore costs.
+- :func:`density_greedy` — order by static utility/cost density (no
+  residual updates, unlike Algorithm Greedy).
+- :func:`random_admission` — threshold admission in random order.
+
+All baselines return fully feasible assignments: a stream is admitted
+only if the server margins hold, and delivered only to users whose
+capacity margins hold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.assignment import Assignment
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+from repro.exceptions import ValidationError
+from repro.util.rng import ensure_rng
+
+
+def _admit_in_order(
+    instance: MMDInstance,
+    order: "list[str]",
+    margin: float,
+) -> Assignment:
+    """Shared engine: walk streams in order, admit while within margins.
+
+    A stream is transmitted if adding it keeps every finite server
+    budget within ``margin * B_i``; it is then delivered to every
+    interested user whose margins allow it and whose residual utility
+    headroom is positive.
+    """
+    if not 0.0 < margin <= 1.0:
+        raise ValidationError(f"margin must be in (0, 1], got {margin}")
+    assignment = Assignment(instance)
+    server_used = [0.0] * instance.m
+    user_used = {u.user_id: [0.0] * instance.mc for u in instance.users}
+    user_utility = {u.user_id: 0.0 for u in instance.users}
+    for sid in order:
+        stream = instance.stream(sid)
+        fits = True
+        for i, budget in enumerate(instance.budgets):
+            if math.isinf(budget):
+                continue
+            if server_used[i] + stream.costs[i] > margin * budget * (1 + FEASIBILITY_RTOL):
+                fits = False
+                break
+        if not fits:
+            continue
+        receivers = []
+        for u in instance.users:
+            if sid not in u.utilities:
+                continue
+            if user_utility[u.user_id] >= u.utility_cap:
+                continue
+            ok = True
+            loads = u.load_vector(sid)
+            for j, cap in enumerate(u.capacities):
+                if math.isinf(cap):
+                    continue
+                if user_used[u.user_id][j] + loads[j] > margin * cap * (1 + FEASIBILITY_RTOL):
+                    ok = False
+                    break
+            if ok:
+                receivers.append(u.user_id)
+        if not receivers:
+            continue
+        for uid in receivers:
+            u = instance.user(uid)
+            loads = u.load_vector(sid)
+            for j in range(instance.mc):
+                user_used[uid][j] += loads[j]
+            user_utility[uid] += u.utilities[sid]
+            assignment.add(uid, sid)
+        for i in range(instance.m):
+            server_used[i] += stream.costs[i]
+    return assignment
+
+
+def threshold_admission(
+    instance: MMDInstance,
+    order: "list[str] | None" = None,
+    margin: float = 1.0,
+) -> Assignment:
+    """The deployed "safety margin" policy of the paper's introduction.
+
+    Streams are processed in arrival order (default: catalog order) and
+    admitted while every resource stays below ``margin`` times its cap —
+    entirely blind to utilities.
+    """
+    sequence = order if order is not None else instance.stream_ids()
+    return _admit_in_order(instance, sequence, margin)
+
+
+def utility_greedy(instance: MMDInstance, margin: float = 1.0) -> Assignment:
+    """Admit in decreasing order of total stream utility ``w(S)``,
+    ignoring costs entirely."""
+    sequence = sorted(
+        instance.stream_ids(),
+        key=lambda sid: (-instance.total_utility(sid), sid),
+    )
+    return _admit_in_order(instance, sequence, margin)
+
+
+def density_greedy(instance: MMDInstance, margin: float = 1.0) -> Assignment:
+    """Admit in decreasing order of *static* density ``w(S)/c(S)``.
+
+    The density uses the reduced (normalize-and-sum) cost so it is
+    defined for any ``m``; unlike Algorithm Greedy, densities are
+    computed once and never updated as users saturate — the gap between
+    the two quantifies the value of residual-utility maintenance.
+    """
+    finite = [i for i, b in enumerate(instance.budgets) if not math.isinf(b)]
+
+    def density(sid: str) -> float:
+        cost = sum(instance.stream(sid).costs[i] / instance.budgets[i] for i in finite)
+        w = instance.total_utility(sid)
+        if cost == 0.0:
+            return math.inf if w > 0 else 0.0
+        return w / cost
+
+    sequence = sorted(instance.stream_ids(), key=lambda sid: (-density(sid), sid))
+    return _admit_in_order(instance, sequence, margin)
+
+
+def random_admission(
+    instance: MMDInstance,
+    seed: "int | np.random.Generator | None" = None,
+    margin: float = 1.0,
+) -> Assignment:
+    """Threshold admission over a uniformly random arrival order."""
+    rng = ensure_rng(seed)
+    sequence = list(instance.stream_ids())
+    rng.shuffle(sequence)
+    return _admit_in_order(instance, sequence, margin)

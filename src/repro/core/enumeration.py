@@ -1,0 +1,91 @@
+"""Partial enumeration for SMD (paper §2.3, following Sviridenko).
+
+Sviridenko's algorithm for maximizing a nondecreasing submodular set
+function subject to a knapsack constraint enumerates every feasible seed
+set of at most ``d`` (classically 3) streams, completes each greedily by
+cost effectiveness, and keeps the best — achieving ``e/(e-1)``.
+
+Lemma 2.1 makes SMD's semi-feasible utility such a function, so:
+
+- :func:`partial_enumeration` returns the semi-feasible
+  ``e/(e-1)``-approximation of Theorem 2.9 (feasible when each user's
+  capacity is augmented by his largest stream load);
+- :func:`partial_enumeration_feasible` applies the Theorem 2.8-style
+  ``A_1``/``A_2`` split to obtain the fully feasible ``2e/(e-1)``
+  solution of Theorem 2.10.
+
+Running time is ``O(|S|^d)`` greedy runs, so this is the slow-but-sharp
+option; :func:`repro.core.greedy.greedy_feasible` is the ``O(n^2)`` one.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.assignment import Assignment, best_assignment
+from repro.core.greedy import GreedyTrace, _require_single_budget, greedy
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+
+
+def _seed_sets(instance: MMDInstance, depth: int) -> "list[tuple[str, ...]]":
+    """Every budget-feasible seed of at most ``depth`` streams (including
+    the empty seed, which reduces to plain greedy)."""
+    cap = instance.budgets[0]
+    sids = instance.stream_ids()
+    seeds: "list[tuple[str, ...]]" = [()]
+    for size in range(1, depth + 1):
+        for combo in combinations(sids, size):
+            total = sum(instance.stream(sid).costs[0] for sid in combo)
+            if total <= cap * (1 + FEASIBILITY_RTOL):
+                seeds.append(combo)
+    return seeds
+
+
+def partial_enumeration(instance: MMDInstance, depth: int = 3) -> GreedyTrace:
+    """Theorem 2.9: the ``e/(e-1)`` semi-feasible approximation.
+
+    Parameters
+    ----------
+    instance:
+        Single-budget instance in the §2 setting.
+    depth:
+        Seed size (3 gives the proven ratio; 1 or 2 trade quality for
+        speed and are useful in experiments).
+
+    Returns the best trace over all greedy completions of feasible
+    seeds.  The assignment is semi-feasible; by Theorem 2.9 it is
+    feasible if every user's capacity is raised by ``k̄_u = max_S k_u(S)``.
+    """
+    _require_single_budget(instance)
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    best_trace: "GreedyTrace | None" = None
+    best_value = -1.0
+    for seed in _seed_sets(instance, depth):
+        trace = greedy(instance, initial_streams=seed)
+        value = trace.assignment.utility()
+        if value > best_value:
+            best_trace, best_value = trace, value
+    assert best_trace is not None  # the empty seed always exists
+    return best_trace
+
+
+def partial_enumeration_feasible(instance: MMDInstance, depth: int = 3) -> Assignment:
+    """Theorem 2.10: the fully feasible ``2e/(e-1)`` approximation.
+
+    Applies the per-user last-stream split of Theorem 2.8 to the best
+    enumerated trace, so no user exceeds his cap.
+    """
+    trace = partial_enumeration(instance, depth=depth)
+    last = trace.last_stream_of()
+    a1 = Assignment(instance)
+    a2 = Assignment(instance)
+    for u in instance.users:
+        streams = trace.assignment.streams_of(u.user_id)
+        final = last.get(u.user_id)
+        for sid in streams:
+            if sid == final:
+                a2.add(u.user_id, sid)
+            else:
+                a1.add(u.user_id, sid)
+    return best_assignment([a1, a2])

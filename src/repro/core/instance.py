@@ -1,0 +1,688 @@
+"""Data model for the Multi-budget Multi-client Distribution problem (MMD).
+
+The paper (§1.1) defines an MMD instance by:
+
+- a collection ``S`` of streams and a set ``U`` of users;
+- ``m`` server cost measures: stream ``S`` costs ``c_i(S) >= 0`` in measure
+  ``i``, and measure ``i`` has a budget cap ``B_i`` (possibly infinite);
+- up to ``m_c`` capacity measures per user: stream ``S`` puts load
+  ``k^u_j(S)`` on user ``u``'s measure ``j``, capped by ``K^u_j``;
+- a utility ``w_u(S) >= 0`` for each user/stream pair, and a utility cap
+  ``W_u`` on the total utility user ``u`` can generate.
+
+The paper's convention ``w_u(S) = 0`` whenever some single-stream load
+exceeds a capacity (``k^u_j(S) > K^u_j``) is enforced by
+:meth:`MMDInstance.validate`; :func:`sanitize_utilities` converts offending
+instances instead of rejecting them.
+
+The *Single-budget Multi-client Distribution* problem (SMD) is the special
+case ``m = m_c = 1``; it is represented by the same class (see
+:attr:`MMDInstance.is_smd`) so that the reductions of §3 and §4 are plain
+instance-to-instance functions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ValidationError
+from repro.util.validation import check_nonnegative, check_unique
+
+#: Relative tolerance used throughout the library for budget comparisons.
+#: Floating-point accumulation must not make a paper-feasible assignment
+#: appear infeasible.
+FEASIBILITY_RTOL = 1e-9
+
+
+def _as_cost_tuple(name: str, values: Sequence[float], expected_len: int | None = None) -> tuple[float, ...]:
+    """Validate and freeze a vector of nonnegative costs/loads."""
+    result = tuple(check_nonnegative(f"{name}[{i}]", v) for i, v in enumerate(values))
+    if expected_len is not None and len(result) != expected_len:
+        raise ValidationError(f"{name} must have length {expected_len}, got {len(result)}")
+    return result
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A video stream the server may transmit.
+
+    Attributes
+    ----------
+    stream_id:
+        Unique identifier within an instance.
+    costs:
+        Server-side cost vector ``(c_1(S), ..., c_m(S))``; transmitting
+        the stream consumes ``c_i(S)`` out of budget ``B_i``.
+    name:
+        Optional human-readable label (e.g. a channel name).
+    attrs:
+        Free-form metadata (bitrate, genre, ...) carried through
+        generators and the simulator; ignored by the algorithms.
+    """
+
+    stream_id: str
+    costs: tuple[float, ...]
+    name: str = ""
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "costs", _as_cost_tuple(f"stream {self.stream_id} costs", self.costs))
+
+    @property
+    def num_measures(self) -> int:
+        """Number of server cost measures this stream is priced in."""
+        return len(self.costs)
+
+    def cost(self, measure: int = 0) -> float:
+        """Cost ``c_i(S)`` in the given measure."""
+        return self.costs[measure]
+
+
+@dataclass(frozen=True)
+class User:
+    """A client (household or neighborhood gateway) of the distribution system.
+
+    Attributes
+    ----------
+    user_id:
+        Unique identifier within an instance.
+    utility_cap:
+        ``W_u`` — an upper bound on the utility this user can generate.
+        May be ``math.inf`` for uncapped users.
+    capacities:
+        ``(K^u_1, ..., K^u_{m_c})`` — capacity caps; entries may be
+        ``math.inf``.
+    utilities:
+        Sparse map ``stream_id -> w_u(S)`` holding only **positive**
+        utilities.  A missing key means ``w_u(S) = 0`` (the user does not
+        want or cannot receive the stream).
+    loads:
+        Sparse map ``stream_id -> (k^u_1(S), ..., k^u_{m_c}(S))``.
+        Keys must be a subset of ``utilities``; a missing key for a
+        positive-utility stream means the stream puts **zero** load on
+        every capacity measure of this user.
+    """
+
+    user_id: str
+    utility_cap: float
+    capacities: tuple[float, ...]
+    utilities: Mapping[str, float] = field(default_factory=dict)
+    loads: Mapping[str, tuple[float, ...]] = field(default_factory=dict)
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_nonnegative(f"user {self.user_id} utility_cap", self.utility_cap, allow_inf=True)
+        caps = tuple(
+            check_nonnegative(f"user {self.user_id} capacities[{j}]", v, allow_inf=True)
+            for j, v in enumerate(self.capacities)
+        )
+        object.__setattr__(self, "capacities", caps)
+        utilities = dict(self.utilities)
+        for sid, w in utilities.items():
+            if check_nonnegative(f"w_{self.user_id}({sid})", w) == 0:
+                raise ValidationError(
+                    f"user {self.user_id} utilities must be sparse: drop zero entry for {sid}"
+                )
+        object.__setattr__(self, "utilities", utilities)
+        loads = {
+            sid: _as_cost_tuple(f"k_{self.user_id}({sid})", vec, expected_len=len(caps))
+            for sid, vec in self.loads.items()
+        }
+        for sid in loads:
+            if sid not in utilities:
+                raise ValidationError(
+                    f"user {self.user_id} has a load for {sid} but zero utility; "
+                    "loads keys must be a subset of utilities keys"
+                )
+        object.__setattr__(self, "loads", loads)
+
+    @property
+    def num_capacity_measures(self) -> int:
+        """Number of capacity measures ``m_c`` for this user."""
+        return len(self.capacities)
+
+    def utility(self, stream_id: str) -> float:
+        """``w_u(S)`` (0 for unknown streams)."""
+        return self.utilities.get(stream_id, 0.0)
+
+    def load(self, stream_id: str, measure: int = 0) -> float:
+        """``k^u_j(S)`` (0 for unknown streams)."""
+        vec = self.loads.get(stream_id)
+        if vec is None:
+            return 0.0
+        return vec[measure]
+
+    def load_vector(self, stream_id: str) -> tuple[float, ...]:
+        """All loads of a stream on this user (zeros if unknown)."""
+        vec = self.loads.get(stream_id)
+        if vec is None:
+            return (0.0,) * len(self.capacities)
+        return vec
+
+    def wanted_streams(self) -> "frozenset[str]":
+        """Streams with positive utility for this user."""
+        return frozenset(self.utilities)
+
+
+class MMDInstance:
+    """An instance of Multi-budget Multi-client Distribution.
+
+    Parameters
+    ----------
+    streams:
+        Stream collection; each stream's cost vector must have length
+        equal to ``len(budgets)``.
+    users:
+        User collection; each user's capacity vector must have length
+        ``num_capacity_measures`` (all users share the same ``m_c``; pad
+        with ``math.inf`` capacities for users with fewer real limits).
+    budgets:
+        Server budget caps ``(B_1, ..., B_m)``; entries may be
+        ``math.inf``.
+    name:
+        Optional label for reporting.
+    """
+
+    def __init__(
+        self,
+        streams: Iterable[Stream],
+        users: Iterable[User],
+        budgets: Sequence[float],
+        name: str = "",
+        strict: bool = True,
+    ) -> None:
+        self.streams: tuple[Stream, ...] = tuple(streams)
+        self.users: tuple[User, ...] = tuple(users)
+        self.budgets: tuple[float, ...] = tuple(
+            check_nonnegative(f"budgets[{i}]", b, allow_inf=True) for i, b in enumerate(budgets)
+        )
+        self.name = name
+        self._stream_by_id = {s.stream_id: s for s in self.streams}
+        self._user_by_id = {u.user_id: u for u in self.users}
+        self.validate(strict=strict)
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of server budget measures."""
+        return len(self.budgets)
+
+    @property
+    def mc(self) -> int:
+        """Number of capacity measures per user (0 if there are no users)."""
+        if not self.users:
+            return 0
+        return self.users[0].num_capacity_measures
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.streams)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def is_smd(self) -> bool:
+        """True when this is a Single-budget Multi-client instance (m = m_c = 1)."""
+        return self.m == 1 and self.mc <= 1
+
+    @property
+    def input_length(self) -> int:
+        """The paper's ``n``: streams + users + nonzero utility entries."""
+        nnz = sum(len(u.utilities) for u in self.users)
+        return len(self.streams) + len(self.users) + nnz
+
+    def stream(self, stream_id: str) -> Stream:
+        """Look up a stream by id."""
+        try:
+            return self._stream_by_id[stream_id]
+        except KeyError:
+            raise ValidationError(f"unknown stream id {stream_id!r}") from None
+
+    def user(self, user_id: str) -> User:
+        """Look up a user by id."""
+        try:
+            return self._user_by_id[user_id]
+        except KeyError:
+            raise ValidationError(f"unknown user id {user_id!r}") from None
+
+    def has_stream(self, stream_id: str) -> bool:
+        return stream_id in self._stream_by_id
+
+    def stream_ids(self) -> "list[str]":
+        return [s.stream_id for s in self.streams]
+
+    def user_ids(self) -> "list[str]":
+        return [u.user_id for u in self.users]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, strict: bool = True) -> None:
+        """Check the structural invariants the paper assumes.
+
+        Raises :class:`ValidationError` when:
+
+        - stream/user ids collide;
+        - a stream's cost vector length differs from ``m``, or a user's
+          capacity vector length differs from the instance ``m_c``;
+        - a stream violates ``c_i(S) <= B_i`` (the paper's standing
+          assumption — otherwise the stream could never be transmitted);
+        - a user has positive utility for an unknown stream;
+        - (``strict`` only) a user has positive utility for a stream
+          whose single-stream load already exceeds a capacity — the
+          paper requires ``w_u(S) = 0`` in that case.  Build with
+          ``strict=False`` and pass through :func:`sanitize_utilities`
+          to repair such data instead of rejecting it.
+        """
+        check_unique("stream id", [s.stream_id for s in self.streams])
+        check_unique("user id", [u.user_id for u in self.users])
+        for s in self.streams:
+            if s.num_measures != self.m:
+                raise ValidationError(
+                    f"stream {s.stream_id} has {s.num_measures} cost measures, expected {self.m}"
+                )
+            for i, c in enumerate(s.costs):
+                if c > self.budgets[i] * (1 + FEASIBILITY_RTOL):
+                    raise ValidationError(
+                        f"stream {s.stream_id} cost {c} exceeds budget B_{i}={self.budgets[i]}; "
+                        "the paper assumes c_i(S) <= B_i"
+                    )
+        mc = self.mc
+        for u in self.users:
+            if u.num_capacity_measures != mc:
+                raise ValidationError(
+                    f"user {u.user_id} has {u.num_capacity_measures} capacity measures, expected {mc}"
+                )
+            for sid in u.utilities:
+                if sid not in self._stream_by_id:
+                    raise ValidationError(
+                        f"user {u.user_id} has utility for unknown stream {sid!r}"
+                    )
+                if not strict:
+                    continue
+                vec = u.load_vector(sid)
+                for j, load in enumerate(vec):
+                    if load > u.capacities[j] * (1 + FEASIBILITY_RTOL):
+                        raise ValidationError(
+                            f"user {u.user_id} has positive utility for {sid} but its load "
+                            f"{load} exceeds capacity K^u_{j}={u.capacities[j]}; the paper "
+                            "requires w_u(S)=0 then (use sanitize_utilities)"
+                        )
+
+    # ------------------------------------------------------------------
+    # Aggregates used throughout the paper
+    # ------------------------------------------------------------------
+
+    def total_utility(self, stream_id: str) -> float:
+        """``w(S) = sum_u w_u(S)`` — total (uncapped) utility of a stream."""
+        return sum(u.utility(stream_id) for u in self.users)
+
+    def max_total_utility(self) -> float:
+        """``sum_u min(W_u, sum_S w_u(S))`` — a trivial utility upper bound."""
+        total = 0.0
+        for u in self.users:
+            total += min(u.utility_cap, sum(u.utilities.values()))
+        return total
+
+    def interested_users(self, stream_id: str) -> "list[User]":
+        """Users with ``w_u(S) > 0`` for the given stream."""
+        return [u for u in self.users if stream_id in u.utilities]
+
+    # ------------------------------------------------------------------
+    # Skew (paper §3 and §5)
+    # ------------------------------------------------------------------
+
+    def cost_benefit_ratios(self, user: User, measure: int) -> "list[float]":
+        """Ratios ``w_u(S) / k^u_j(S)`` over positive-utility, positive-load streams.
+
+        Ratios that overflow to infinity (subnormal loads) are excluded:
+        such a load is indistinguishable from zero, so the pair behaves
+        like a "free" pair (see :meth:`local_skew`).
+        """
+        ratios = []
+        for sid, w in user.utilities.items():
+            load = user.load(sid, measure)
+            if load > 0:
+                ratio = w / load
+                if math.isfinite(ratio):
+                    ratios.append(ratio)
+        return ratios
+
+    def local_skew(self) -> float:
+        """The local skew ``α`` of the instance (paper §3).
+
+        For each user ``u`` and capacity measure ``j``, the local skew of
+        ``u`` at ``j`` is the ratio between the largest and smallest
+        cost-benefit ratios ``w_u(S)/k^u_j(S)`` over streams with
+        positive utility.  ``α`` is the maximum over all users and
+        measures; ``α = 1`` iff every user's loads are proportional to
+        his utilities.
+
+        Streams with positive utility but **zero** load are excluded
+        (their cost-benefit ratio is infinite; the classify-and-select
+        reduction of §3 places them in a dedicated "free" class instead
+        of letting them blow up ``α``).
+        """
+        skew = 1.0
+        for u in self.users:
+            for j in range(self.mc):
+                ratios = self.cost_benefit_ratios(u, j)
+                if len(ratios) >= 2:
+                    skew = max(skew, max(ratios) / min(ratios))
+        return skew
+
+    def has_free_pairs(self) -> bool:
+        """True if some (user, stream) pair has positive utility and zero load
+        on some measure while other streams load that measure positively."""
+        for u in self.users:
+            for j in range(self.mc):
+                loads = [u.load(sid, j) for sid in u.utilities]
+                if any(load == 0 for load in loads) and any(load > 0 for load in loads):
+                    return True
+        return False
+
+    def is_unit_skew(self, rtol: float = 1e-9) -> bool:
+        """True when every user's loads are proportional to his utilities.
+
+        Under unit skew the paper replaces user capacities with utility
+        caps (``§2 Preliminaries``): after normalization either
+        ``w_u(S) = k_u(S)`` or ``w_u(S) = 0``.
+        """
+        for u in self.users:
+            for j in range(self.mc):
+                ratios = self.cost_benefit_ratios(u, j)
+                if ratios and max(ratios) > min(ratios) * (1 + rtol):
+                    return False
+        return True
+
+    def global_skew(self) -> float:
+        """The global skew ``γ`` of the instance (paper §5, eq. (1)).
+
+        Each cost function — server budgets and per-user virtual budgets
+        (capacity measures) — may be scaled independently (scaling a
+        cost together with its budget leaves the problem unchanged), so
+        the smallest ``γ`` satisfying eq. (1) is the **per-measure**
+        spread between the best and worst utility-per-unit-cost::
+
+            γ = max_i  (max_S Σ_{u∈supp(S)} w_u(S) / c_i(S))
+                     / (min_S min_{u∈supp(S)} w_u(S) / c_i(S))
+
+        where both extrema range over streams with ``c_i(S) > 0`` and
+        nonempty support (the binding sets ``X`` of eq. (1) are the full
+        support at the top and a singleton of minimum utility at the
+        bottom).  Measures that no stream loads positively contribute
+        nothing; an instance with no positive costs at all has ``γ = 1``.
+        """
+        # measure key -> [best, worst]; server measures keyed by index,
+        # user virtual measures by (user_id, j).
+        spread: dict[object, list[float]] = {}
+
+        def update(key: object, total_w: float, min_w: float, cost: float) -> None:
+            entry = spread.setdefault(key, [0.0, math.inf])
+            entry[0] = max(entry[0], total_w / cost)
+            entry[1] = min(entry[1], min_w / cost)
+
+        for s in self.streams:
+            support = [u for u in self.users if s.stream_id in u.utilities]
+            if not support:
+                continue
+            total_w = sum(u.utilities[s.stream_id] for u in support)
+            min_w = min(u.utilities[s.stream_id] for u in support)
+            for i, c in enumerate(s.costs):
+                if c > 0:
+                    update(("server", i), total_w, min_w, c)
+            for u in support:
+                for j, load in enumerate(u.load_vector(s.stream_id)):
+                    if load > 0:
+                        update(("user", u.user_id, j), total_w, min_w, load)
+        gamma = 1.0
+        for best, worst in spread.values():
+            if best > 0.0 and not math.isinf(worst):
+                gamma = max(gamma, best / worst)
+        return gamma
+
+    # ------------------------------------------------------------------
+    # Rebuilding helpers used by the reductions
+    # ------------------------------------------------------------------
+
+    def with_utilities(
+        self,
+        utilities: Mapping[str, Mapping[str, float]],
+        loads: "Mapping[str, Mapping[str, tuple[float, ...]]] | None" = None,
+        utility_caps: "Mapping[str, float] | None" = None,
+        capacities: "Mapping[str, tuple[float, ...]] | None" = None,
+        name: str = "",
+    ) -> "MMDInstance":
+        """Clone this instance with replaced user-side data.
+
+        ``utilities[user_id]`` replaces the user's sparse utility map
+        (zero/absent entries are dropped); loads, utility caps and
+        capacities are optionally replaced per user.  Streams and server
+        budgets are shared (they are immutable).
+        """
+        new_users = []
+        for u in self.users:
+            new_util = {
+                sid: w for sid, w in utilities.get(u.user_id, u.utilities).items() if w > 0
+            }
+            if loads is not None and u.user_id in loads:
+                new_loads = {
+                    sid: vec for sid, vec in loads[u.user_id].items() if sid in new_util
+                }
+            else:
+                new_loads = {sid: vec for sid, vec in u.loads.items() if sid in new_util}
+            new_cap = u.utility_cap if utility_caps is None else utility_caps.get(u.user_id, u.utility_cap)
+            new_caps = u.capacities if capacities is None else capacities.get(u.user_id, u.capacities)
+            new_users.append(
+                User(
+                    user_id=u.user_id,
+                    utility_cap=new_cap,
+                    capacities=new_caps,
+                    utilities=new_util,
+                    loads=new_loads,
+                    attrs=u.attrs,
+                )
+            )
+        return MMDInstance(self.streams, new_users, self.budgets, name=name or self.name)
+
+    def restrict_streams(self, stream_ids: Iterable[str], name: str = "") -> "MMDInstance":
+        """Sub-instance over a subset of streams."""
+        keep = set(stream_ids)
+        unknown = keep - set(self._stream_by_id)
+        if unknown:
+            raise ValidationError(f"unknown stream ids {sorted(unknown)!r}")
+        streams = [s for s in self.streams if s.stream_id in keep]
+        users = [
+            User(
+                user_id=u.user_id,
+                utility_cap=u.utility_cap,
+                capacities=u.capacities,
+                utilities={sid: w for sid, w in u.utilities.items() if sid in keep},
+                loads={sid: vec for sid, vec in u.loads.items() if sid in keep},
+                attrs=u.attrs,
+            )
+            for u in self.users
+        ]
+        return MMDInstance(streams, users, self.budgets, name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe apart from infinities, which become the
+        string ``"inf"``)."""
+
+        def num(x: float) -> "float | str":
+            return "inf" if math.isinf(x) else x
+
+        return {
+            "name": self.name,
+            "budgets": [num(b) for b in self.budgets],
+            "streams": [
+                {
+                    "stream_id": s.stream_id,
+                    "costs": list(s.costs),
+                    "name": s.name,
+                    "attrs": dict(s.attrs),
+                }
+                for s in self.streams
+            ],
+            "users": [
+                {
+                    "user_id": u.user_id,
+                    "utility_cap": num(u.utility_cap),
+                    "capacities": [num(k) for k in u.capacities],
+                    "utilities": dict(u.utilities),
+                    "loads": {sid: list(vec) for sid, vec in u.loads.items()},
+                    "attrs": dict(u.attrs),
+                }
+                for u in self.users
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MMDInstance":
+        """Inverse of :meth:`to_dict`."""
+
+        def num(x: "float | str") -> float:
+            return math.inf if x == "inf" else float(x)
+
+        streams = [
+            Stream(
+                stream_id=s["stream_id"],
+                costs=tuple(s["costs"]),
+                name=s.get("name", ""),
+                attrs=s.get("attrs", {}),
+            )
+            for s in data["streams"]
+        ]
+        users = [
+            User(
+                user_id=u["user_id"],
+                utility_cap=num(u["utility_cap"]),
+                capacities=tuple(num(k) for k in u["capacities"]),
+                utilities={sid: float(w) for sid, w in u["utilities"].items()},
+                loads={sid: tuple(vec) for sid, vec in u.get("loads", {}).items()},
+                attrs=u.get("attrs", {}),
+            )
+            for u in data["users"]
+        ]
+        budgets = tuple(num(b) for b in data["budgets"])
+        return cls(streams, users, budgets, name=data.get("name", ""))
+
+    def to_json(self) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MMDInstance":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:
+        return (
+            f"MMDInstance(name={self.name!r}, |S|={self.num_streams}, "
+            f"|U|={self.num_users}, m={self.m}, mc={self.mc})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MMDInstance):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(self.to_json())
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+
+def smd_instance(
+    stream_costs: Mapping[str, float],
+    budget: float,
+    utilities: Mapping[str, Mapping[str, float]],
+    utility_caps: Mapping[str, float],
+    loads: "Mapping[str, Mapping[str, float]] | None" = None,
+    capacities: "Mapping[str, float] | None" = None,
+    name: str = "",
+) -> MMDInstance:
+    """Build a Single-budget Multi-client Distribution instance.
+
+    Parameters
+    ----------
+    stream_costs:
+        ``stream_id -> c(S)``.
+    budget:
+        The single server budget ``B``.
+    utilities:
+        ``user_id -> {stream_id -> w_u(S)}`` (positive entries only).
+    utility_caps:
+        ``user_id -> W_u``.
+    loads:
+        Optional ``user_id -> {stream_id -> k_u(S)}``; defaults to loads
+        equal to utilities (unit skew).
+    capacities:
+        Optional ``user_id -> K_u``; defaults to the utility cap
+        (the unit-skew convention of §2: ``W_u = K_u``).
+    """
+    streams = [Stream(sid, (c,)) for sid, c in stream_costs.items()]
+    users = []
+    for uid, util in utilities.items():
+        cap = utility_caps[uid]
+        if loads is not None and uid in loads:
+            user_loads = {sid: (k,) for sid, k in loads[uid].items() if util.get(sid, 0) > 0}
+        else:
+            user_loads = {sid: (w,) for sid, w in util.items() if w > 0}
+        capacity = capacities[uid] if capacities is not None and uid in capacities else cap
+        users.append(
+            User(
+                user_id=uid,
+                utility_cap=cap,
+                capacities=(capacity,),
+                utilities={sid: w for sid, w in util.items() if w > 0},
+                loads=user_loads,
+            )
+        )
+    return MMDInstance(streams, users, (budget,), name=name)
+
+
+def unit_skew_instance(
+    stream_costs: Mapping[str, float],
+    budget: float,
+    utilities: Mapping[str, Mapping[str, float]],
+    utility_caps: Mapping[str, float],
+    name: str = "",
+) -> MMDInstance:
+    """SMD instance in the §2 unit-skew setting: loads equal utilities and
+    capacities equal utility caps, so the only user-side constraint is
+    the utility cap ``W_u``."""
+    return smd_instance(stream_costs, budget, utilities, utility_caps, name=name)
+
+
+def sanitize_utilities(instance: MMDInstance) -> MMDInstance:
+    """Zero out utilities that the paper's convention requires to be zero.
+
+    For each user ``u`` and stream ``S`` with ``k^u_j(S) > K^u_j`` for
+    some ``j``, set ``w_u(S) = 0`` (drop the entry).  Returns a new
+    instance; the input is unchanged.
+    """
+    new_utilities: dict[str, dict[str, float]] = {}
+    for u in instance.users:
+        keep = {}
+        for sid, w in u.utilities.items():
+            vec = u.load_vector(sid)
+            if all(load <= cap * (1 + FEASIBILITY_RTOL) for load, cap in zip(vec, u.capacities)):
+                keep[sid] = w
+        new_utilities[u.user_id] = keep
+    return instance.with_utilities(new_utilities, name=instance.name)

@@ -1,0 +1,121 @@
+"""Swap-based local search for MMD.
+
+Another deployment-grade competitor outside the paper's toolbox:
+starting from any feasible assignment, repeatedly try improving moves —
+adding a stream (with its best feasible receiver set), dropping one, or
+swapping one in for one out — until no move improves the utility.
+Polynomial per-iteration cost; no approximation guarantee for general
+MMD, but together with :func:`repro.core.rounding.lp_rounding` it brackets
+where the paper's guaranteed pipeline sits in practice (ablation A2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance
+from repro.core.solver import greedy_fill
+
+
+def _delivery_value(instance: MMDInstance, assignment: Assignment) -> float:
+    return assignment.utility()
+
+
+def _try_with_stream_set(
+    instance: MMDInstance, stream_ids: "set[str]"
+) -> "Assignment | None":
+    """Best-effort feasible assignment transmitting exactly ``stream_ids``:
+    greedily deliver to users by utility density under their capacities.
+    Returns None if the set itself violates a server budget."""
+    total = [0.0] * instance.m
+    for sid in stream_ids:
+        for i, c in enumerate(instance.stream(sid).costs):
+            total[i] += c
+    for i, budget in enumerate(instance.budgets):
+        if not math.isinf(budget) and total[i] > budget * (1 + 1e-9):
+            return None
+    a = Assignment(instance)
+    for user in instance.users:
+        used = [0.0] * instance.mc
+        raw = 0.0
+        wanted = sorted(
+            (sid for sid in stream_ids if sid in user.utilities),
+            key=lambda sid: -user.utilities[sid],
+        )
+        for sid in wanted:
+            headroom = user.utility_cap - raw
+            if headroom <= 0:
+                break
+            loads = user.load_vector(sid)
+            if all(
+                math.isinf(cap) or used[j] + loads[j] <= cap * (1 + 1e-9)
+                for j, cap in enumerate(user.capacities)
+            ):
+                a.add(user.user_id, sid)
+                for j in range(instance.mc):
+                    used[j] += loads[j]
+                raw += user.utilities[sid]
+    return a
+
+
+def local_search(
+    instance: MMDInstance,
+    initial: "Assignment | None" = None,
+    max_iterations: int = 200,
+    fill: bool = True,
+) -> Assignment:
+    """1-swap local search over the transmitted set.
+
+    Parameters
+    ----------
+    initial:
+        Starting point (defaults to the empty assignment).
+    max_iterations:
+        Safety cap on improving moves.
+    fill:
+        Run :func:`repro.core.solver.greedy_fill` on the final answer.
+    """
+    current_set = set(initial.assigned_streams()) if initial is not None else set()
+    current = _try_with_stream_set(instance, current_set)
+    if current is None:
+        current_set = set()
+        current = Assignment(instance)
+    current_value = _delivery_value(instance, current)
+    all_sids = instance.stream_ids()
+    for _ in range(max_iterations):
+        best_move: "tuple[set[str], Assignment] | None" = None
+        best_value = current_value
+        # Add moves.
+        for sid in all_sids:
+            if sid in current_set:
+                continue
+            candidate_set = current_set | {sid}
+            candidate = _try_with_stream_set(instance, candidate_set)
+            if candidate is None:
+                continue
+            value = _delivery_value(instance, candidate)
+            if value > best_value + 1e-12:
+                best_move, best_value = (candidate_set, candidate), value
+        # Swap moves (only if no add improved — adds are cheaper).
+        if best_move is None:
+            for sid_out in list(current_set):
+                for sid_in in all_sids:
+                    if sid_in in current_set:
+                        continue
+                    candidate_set = (current_set - {sid_out}) | {sid_in}
+                    candidate = _try_with_stream_set(instance, candidate_set)
+                    if candidate is None:
+                        continue
+                    value = _delivery_value(instance, candidate)
+                    if value > best_value + 1e-12:
+                        best_move, best_value = (candidate_set, candidate), value
+        if best_move is None:
+            break
+        current_set, current = best_move
+        current_value = best_value
+    if fill:
+        filled = greedy_fill(instance, current)
+        if filled.utility() > current_value:
+            return filled
+    return current

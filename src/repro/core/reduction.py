@@ -1,0 +1,301 @@
+"""Reduction from multiple budgets to a single budget (paper §4.1).
+
+The input transformation normalizes and sums every cost measure::
+
+    c(S)   = Σ_i c_i(S)/B_i        with budget  B   = m
+    k_u(S) = Σ_j k^u_j(S)/K^u_j    with capacity K_u = m_c
+
+An ``r``-approximate solution of the reduced single-budget instance is
+server-feasible within factor ``m`` and user-feasible within factor
+``m_c`` of the original caps (Lemma 4.2); the *output transformation*
+repairs it into a fully feasible solution by decomposing the chosen
+streams into at most ``2m-1`` groups along the unit-interval construction
+of Fig. 3 (and each user's set into at most ``2m_c-1`` groups), keeping
+the best group — losing an ``O(m·m_c)`` factor overall (Theorem 4.3).
+The §4.2 instance family shows this loss is tight.
+
+Refinements kept from the paper's analysis:
+
+- measures with infinite caps contribute nothing to the summed cost and
+  are skipped (their normalized cost would be zero anyway);
+- the capacity bound ``K_u`` is the user's own count of finite measures
+  (the paper's uniform ``m_c`` is an upper bound on it);
+- the best candidate is selected *after* the per-user repair rather than
+  before, which can only improve the chosen solution and keeps the
+  Theorem 4.3 guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.assignment import Assignment, best_assignment
+from repro.core.instance import MMDInstance, Stream, User
+from repro.exceptions import ValidationError
+
+#: Float guard for the integer-boundary tests of the Fig. 3 construction.
+_BOUNDARY_EPS = 1e-12
+
+
+def unit_interval_decomposition(
+    items: Sequence[str],
+    cost_of: "Callable[[str], float]",
+) -> "list[list[str]]":
+    """Fig. 3: lay items as consecutive intervals; split at integer points.
+
+    Items are placed on the real line in the given order, each occupying
+    an interval of length ``cost_of(item)``.  An item whose interval
+    strictly contains an integer point becomes a singleton group; maximal
+    runs of items lying between consecutive integer points form the
+    remaining groups.  Consequently every non-singleton group has total
+    cost at most 1, and for total cost ``C`` at most ``2⌈C⌉-1`` groups
+    are produced.
+
+    >>> unit_interval_decomposition(["a", "b", "c"], {"a": 0.6, "b": 0.6, "c": 0.6}.get)
+    [['a'], ['b'], ['c']]
+    >>> unit_interval_decomposition(["a", "b", "c", "d"], {"a": 0.5, "b": 0.5, "c": 0.5, "d": 0.5}.get)
+    [['a', 'b'], ['c', 'd']]
+    """
+    groups: "list[list[str]]" = []
+    current: "list[str]" = []
+    current_window: "int | None" = None
+    pos = 0.0
+    for item in items:
+        cost = cost_of(item)
+        if cost < 0:
+            raise ValidationError(f"negative cost for {item!r}")
+        start, end = pos, pos + cost
+        first_integer = math.floor(start + _BOUNDARY_EPS) + 1
+        if first_integer < end - _BOUNDARY_EPS:
+            # The interval strictly contains an integer point: singleton.
+            if current:
+                groups.append(current)
+                current, current_window = [], None
+            groups.append([item])
+        else:
+            # Lies within the unit window (first_integer-1, first_integer].
+            if current and current_window != first_integer:
+                groups.append(current)
+                current = []
+            current.append(item)
+            current_window = first_integer
+        pos = end
+    if current:
+        groups.append(current)
+    return groups
+
+
+def utility_cap_as_capacity(instance: MMDInstance) -> MMDInstance:
+    """Model finite utility caps as an additional capacity measure.
+
+    The paper's formal MMD model has only capacity constraints; the
+    bound on the utility a client can generate (Fig. 1) is expressed as
+    a capacity measure whose loads are the utilities themselves.  This
+    helper performs that modeling step: each user gains one capacity
+    measure with load ``min(w_u(S), W_u)`` and cap ``W_u``, and his
+    utility cap becomes infinite.  Single-stream loads are clipped at
+    ``W_u`` so a stream worth more than the whole cap stays assignable
+    (it simply saturates the user), matching the capped-utility
+    semantics up to the unavoidable knapsack rounding.
+
+    Instances whose caps are all infinite are returned unchanged.
+    """
+    if all(math.isinf(u.utility_cap) for u in instance.users):
+        return instance
+    mc = instance.mc
+    new_users = []
+    for u in instance.users:
+        cap = u.utility_cap
+        extra_cap = cap if not math.isinf(cap) else math.inf
+        loads = {}
+        for sid in u.utilities:
+            base = u.load_vector(sid)
+            extra_load = min(u.utilities[sid], cap) if not math.isinf(cap) else 0.0
+            loads[sid] = base + (extra_load,)
+        new_users.append(
+            User(
+                user_id=u.user_id,
+                utility_cap=math.inf,
+                capacities=u.capacities + (extra_cap,),
+                utilities=dict(u.utilities),
+                loads=loads,
+                attrs=u.attrs,
+            )
+        )
+    del mc
+    return MMDInstance(
+        instance.streams, new_users, instance.budgets, name=instance.name
+    )
+
+
+@dataclass
+class SingleBudgetReduction:
+    """The §4.1 reduction: holds the reduced instance and lifts solutions back.
+
+    Attributes
+    ----------
+    original:
+        The MMD instance ``I_M``.
+    reduced:
+        The single-budget instance ``I_S`` (``m = 1``, ``m_c = 1``,
+        infinite utility caps).
+    finite_measures:
+        Indices of the server measures with finite budgets (the ones
+        that participate in the summed cost).
+    """
+
+    original: MMDInstance
+    reduced: MMDInstance
+    finite_measures: tuple[int, ...]
+
+    def lift(self, assignment: Assignment) -> Assignment:
+        """Output transformation (§4.1): repair a feasible ``I_S`` solution
+        into a feasible ``I_M`` solution, losing at most the Theorem 4.3
+        factor.
+
+        The candidate groups are built exactly as in the paper: streams of
+        reduced cost at least 1 stand alone; the rest are decomposed by
+        :func:`unit_interval_decomposition`.  Every candidate is then
+        repaired per user the same way, and the best repaired candidate
+        (by original utility) is returned.
+        """
+        if assignment.instance is not self.reduced:
+            raise ValidationError("assignment is not over this reduction's instance")
+        reduced_cost = {
+            s.stream_id: s.costs[0] for s in self.reduced.streams
+        }
+        chosen = [sid for sid in self.reduced.stream_ids() if sid in assignment.assigned_streams()]
+        if not chosen:
+            return Assignment(self.original)
+        big = [sid for sid in chosen if reduced_cost[sid] >= 1.0 - _BOUNDARY_EPS]
+        small = [sid for sid in chosen if sid not in set(big)]
+        candidates: "list[list[str]]" = [[sid] for sid in big]
+        candidates.extend(unit_interval_decomposition(small, reduced_cost.get))
+
+        original_assignment = assignment.on_instance(self.original)
+        repaired: "list[Assignment]" = []
+        for group in candidates:
+            restricted = original_assignment.restrict(group)
+            repaired.append(self._repair_users(restricted))
+        return best_assignment(repaired)
+
+    def _repair_users(self, assignment: Assignment) -> Assignment:
+        """Per-user Fig. 3 decomposition: keep each user's best-capacity
+        group (at most ``2m_c - 1`` groups per user)."""
+        result = Assignment(self.original)
+        for user in self.original.users:
+            streams = [
+                sid
+                for sid in self.original.stream_ids()
+                if sid in assignment.streams_of(user.user_id)
+            ]
+            if not streams:
+                continue
+            reduced_user = self.reduced.user(user.user_id)
+            cost_of = {sid: reduced_user.load(sid, 0) for sid in streams}
+            big = [sid for sid in streams if cost_of[sid] >= 1.0 - _BOUNDARY_EPS]
+            small = [sid for sid in streams if sid not in set(big)]
+            groups: "list[list[str]]" = [[sid] for sid in big]
+            groups.extend(unit_interval_decomposition(small, cost_of.get))
+            best_group: "list[str]" = []
+            best_value = -1.0
+            for group in groups:
+                value = sum(user.utility(sid) for sid in group)
+                if value > best_value:
+                    best_group, best_value = group, value
+            for sid in best_group:
+                result.add(user.user_id, sid)
+        return result
+
+
+def reduce_to_single_budget(instance: MMDInstance) -> SingleBudgetReduction:
+    """Input transformation of §4.1: normalize-and-sum all cost measures.
+
+    Requires infinite utility caps (run :func:`utility_cap_as_capacity`
+    first if needed) so that the reduced instance's only user-side state
+    is its single capacity measure.
+    """
+    for u in instance.users:
+        if not math.isinf(u.utility_cap):
+            raise ValidationError(
+                f"reduce_to_single_budget requires infinite utility caps (user "
+                f"{u.user_id} has W_u={u.utility_cap}); apply utility_cap_as_capacity first"
+            )
+    # Measures with infinite caps never bind; measures with ZERO caps are
+    # vacuous too (validation forces every cost/load on them to zero, so
+    # including them would divide by zero for nothing).
+    finite = tuple(
+        i for i, b in enumerate(instance.budgets) if not math.isinf(b) and b > 0
+    )
+    m_eff = len(finite)
+
+    def reduced_stream_cost(stream: Stream) -> float:
+        return sum(stream.costs[i] / instance.budgets[i] for i in finite)
+
+    new_streams = [
+        Stream(
+            stream_id=s.stream_id,
+            costs=(reduced_stream_cost(s),),
+            name=s.name,
+            attrs=s.attrs,
+        )
+        for s in instance.streams
+    ]
+    single_budget = float(m_eff) if m_eff > 0 else math.inf
+
+    new_users = []
+    for u in instance.users:
+        finite_caps = [
+            j
+            for j, cap in enumerate(u.capacities)
+            if not math.isinf(cap) and cap > 0
+        ]
+        mc_eff = len(finite_caps)
+
+        def reduced_load(sid: str) -> float:
+            return sum(u.load(sid, j) / u.capacities[j] for j in finite_caps)
+
+        capacity = float(mc_eff) if mc_eff > 0 else math.inf
+        loads = {sid: (reduced_load(sid),) for sid in u.utilities}
+        new_users.append(
+            User(
+                user_id=u.user_id,
+                utility_cap=math.inf,
+                capacities=(capacity,),
+                utilities=dict(u.utilities),
+                loads=loads,
+                attrs=u.attrs,
+            )
+        )
+    reduced = MMDInstance(
+        new_streams,
+        new_users,
+        (single_budget,),
+        name=f"{instance.name or 'mmd'}[reduced]",
+    )
+    return SingleBudgetReduction(original=instance, reduced=reduced, finite_measures=finite)
+
+
+def solve_by_reduction(
+    instance: MMDInstance,
+    solve_smd: "Callable[[MMDInstance], Assignment]",
+) -> Assignment:
+    """Theorem 4.3 end to end: reduce, solve the SMD instance, lift back.
+
+    ``solve_smd`` must return a feasible assignment for the reduced
+    instance (e.g. :func:`repro.core.skew.classify_and_select`).
+    """
+    reduction = reduce_to_single_budget(instance)
+    reduced_solution = solve_smd(reduction.reduced)
+    return reduction.lift(reduced_solution)
+
+
+def decomposition_group_bound(total_cost: float) -> int:
+    """Paper bound on Fig. 3 group count for summed cost ``total_cost``:
+    at most ``2⌈total_cost⌉ - 1`` (the paper states ``2m-1`` for cost
+    at most ``m``)."""
+    if total_cost <= 0:
+        return 1
+    return 2 * int(math.ceil(total_cost - _BOUNDARY_EPS)) - 1

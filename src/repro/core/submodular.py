@@ -1,0 +1,261 @@
+"""Monotone submodular maximization under knapsack constraints.
+
+The paper closes §4.1 with a remark: *"our approach can be used to
+maximize nonnegative, nondecreasing, submodular, and polynomially
+computable set functions under m budget constraints, obtaining an O(m)
+approximation ratio"* — reduce the budgets to one (normalize and sum),
+run Sviridenko's partial-enumeration greedy, then decompose the result
+by the Fig. 3 construction and keep the best group.
+
+This module implements that pipeline for arbitrary set functions, plus
+the standard single-budget machinery it builds on:
+
+- :func:`greedy_submodular` / :func:`lazy_greedy_submodular` — density
+  greedy (lazy variant exploits monotone marginal decrease);
+- :func:`greedy_or_best_singleton` — the Lemma 2.6-style fix with the
+  ``2e/(e-1)`` guarantee;
+- :func:`partial_enumeration_submodular` — Sviridenko's ``e/(e-1)``;
+- :func:`multi_budget_submodular` — the §4.1 remark: ``O(m)·e/(e-1)``.
+
+Set functions are plain callables ``f(frozenset) -> float``; they are
+memoized internally per run, so expensive functions are evaluated once
+per distinct set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Hashable, Mapping, Sequence
+
+from repro.core.reduction import unit_interval_decomposition
+from repro.exceptions import ValidationError
+
+SetFunction = Callable[[frozenset], float]
+
+
+class _Memo:
+    """Memoized view of a set function."""
+
+    def __init__(self, fn: SetFunction) -> None:
+        self._fn = fn
+        self._cache: dict[frozenset, float] = {}
+        self.evaluations = 0
+
+    def __call__(self, items: frozenset) -> float:
+        if items not in self._cache:
+            self._cache[items] = self._fn(items)
+            self.evaluations += 1
+        return self._cache[items]
+
+    def marginal(self, item: Hashable, base: frozenset) -> float:
+        return self(base | {item}) - self(base)
+
+
+def _check_inputs(
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+) -> None:
+    if budget < 0:
+        raise ValidationError(f"budget must be nonnegative, got {budget}")
+    for item in ground:
+        if costs[item] < 0:
+            raise ValidationError(f"negative cost for {item!r}")
+
+
+def greedy_submodular(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+) -> frozenset:
+    """Density greedy: repeatedly add the item of maximum marginal value
+    per unit cost that still fits the budget.
+
+    (On its own this has an unbounded ratio — see §2.2's discussion —
+    use :func:`greedy_or_best_singleton` for a guarantee.)
+    """
+    _check_inputs(ground, costs, budget)
+    memo = _Memo(fn)
+    chosen: frozenset = frozenset()
+    spent = 0.0
+    remaining = set(ground)
+    while remaining:
+        best_item = None
+        best_key = (-math.inf, -math.inf)
+        for item in remaining:
+            gain = memo.marginal(item, chosen)
+            cost = costs[item]
+            density = (gain / cost) if cost > 0 else (math.inf if gain > 0 else 0.0)
+            key = (density, gain)
+            if key > best_key:
+                best_key, best_item = key, item
+        if best_item is None or best_key[1] <= 0:
+            break
+        remaining.discard(best_item)
+        if spent + costs[best_item] <= budget * (1 + 1e-9):
+            chosen = chosen | {best_item}
+            spent += costs[best_item]
+    return chosen
+
+
+def lazy_greedy_submodular(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+) -> frozenset:
+    """CELF-style lazy greedy: identical output value to
+    :func:`greedy_submodular` (up to ties), far fewer evaluations."""
+    _check_inputs(ground, costs, budget)
+    memo = _Memo(fn)
+    chosen: frozenset = frozenset()
+    spent = 0.0
+
+    def density(item: Hashable, gain: float) -> float:
+        cost = costs[item]
+        return (gain / cost) if cost > 0 else (math.inf if gain > 0 else 0.0)
+
+    heap: "list[tuple[float, float, int, Hashable]]" = []
+    for order, item in enumerate(ground):
+        gain = memo.marginal(item, chosen)
+        heapq.heappush(heap, (-density(item, gain), -gain, order, item))
+    stale: set[Hashable] = set()
+    while heap:
+        neg_density, neg_gain, order, item = heapq.heappop(heap)
+        if item in stale:
+            continue
+        gain = memo.marginal(item, chosen)
+        if gain != -neg_gain:
+            heapq.heappush(heap, (-density(item, gain), -gain, order, item))
+            continue
+        if gain <= 0:
+            break
+        stale.add(item)
+        if spent + costs[item] <= budget * (1 + 1e-9):
+            chosen = chosen | {item}
+            spent += costs[item]
+    return chosen
+
+
+def best_singleton(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+) -> frozenset:
+    """The best feasible single item."""
+    memo = _Memo(fn)
+    best: frozenset = frozenset()
+    best_value = memo(frozenset())
+    for item in ground:
+        if costs[item] <= budget * (1 + 1e-9):
+            value = memo(frozenset({item}))
+            if value > best_value:
+                best, best_value = frozenset({item}), value
+    return best
+
+
+def greedy_or_best_singleton(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+) -> frozenset:
+    """Greedy fixed by the best singleton (the Lemma 2.6 trick):
+    guarantees ``(e-1)/2e`` of the optimum for monotone submodular
+    ``fn``."""
+    memo = _Memo(fn)
+    a = greedy_submodular(memo, ground, costs, budget)
+    b = best_singleton(memo, ground, costs, budget)
+    return a if memo(a) >= memo(b) else b
+
+
+def partial_enumeration_submodular(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    costs: Mapping[Hashable, float],
+    budget: float,
+    depth: int = 3,
+) -> frozenset:
+    """Sviridenko's partial enumeration: ``e/(e-1)`` for monotone
+    submodular maximization under one knapsack constraint."""
+    _check_inputs(ground, costs, budget)
+    memo = _Memo(fn)
+    best: frozenset = frozenset()
+    best_value = memo(frozenset())
+    for size in range(1, depth + 1):
+        for seed in itertools.combinations(ground, size):
+            seed_cost = sum(costs[item] for item in seed)
+            if seed_cost > budget * (1 + 1e-9):
+                continue
+            base = frozenset(seed)
+            residual_ground = [g for g in ground if g not in base]
+            completion = greedy_submodular(
+                lambda T, base=base: memo(T | base),
+                residual_ground,
+                costs,
+                budget - seed_cost,
+            )
+            candidate = base | completion
+            value = memo(candidate)
+            if value > best_value:
+                best, best_value = candidate, value
+    # Depth-0 fallback: plain greedy with singleton fix.
+    fallback = greedy_or_best_singleton(memo, ground, costs, budget)
+    if memo(fallback) > best_value:
+        best = fallback
+    return best
+
+
+def multi_budget_submodular(
+    fn: SetFunction,
+    ground: Sequence[Hashable],
+    cost_vectors: Mapping[Hashable, Sequence[float]],
+    budgets: Sequence[float],
+    depth: int = 3,
+) -> frozenset:
+    """The §4.1 remark: submodular maximization under ``m`` knapsacks.
+
+    Reduces to a single knapsack with ``c(x) = Σ_i c_i(x)/B_i`` and
+    budget ``m``, solves it with :func:`partial_enumeration_submodular`,
+    then splits the solution into at most ``2m-1`` groups via
+    :func:`repro.core.reduction.unit_interval_decomposition` (items of
+    reduced cost at least 1 stand alone) and returns the best group —
+    which is feasible for every original budget.
+    """
+    m = len(budgets)
+    for i, b in enumerate(budgets):
+        if b <= 0:
+            raise ValidationError(f"budgets must be positive, got B_{i}={b}")
+    finite = [i for i in range(m) if not math.isinf(budgets[i])]
+    reduced_cost = {
+        item: sum(cost_vectors[item][i] / budgets[i] for i in finite)
+        for item in ground
+    }
+    for item in ground:
+        for i in finite:
+            if cost_vectors[item][i] > budgets[i] * (1 + 1e-9):
+                raise ValidationError(
+                    f"item {item!r} exceeds budget {i} on its own; "
+                    "the reduction assumes c_i(x) <= B_i"
+                )
+    memo = _Memo(fn)
+    chosen = partial_enumeration_submodular(
+        memo, ground, reduced_cost, float(len(finite)) if finite else math.inf, depth=depth
+    )
+    ordered = [item for item in ground if item in chosen]
+    big = [item for item in ordered if reduced_cost[item] >= 1.0 - 1e-12]
+    small = [item for item in ordered if item not in set(big)]
+    groups: "list[list[Hashable]]" = [[item] for item in big]
+    groups.extend(unit_interval_decomposition(small, reduced_cost.get))
+    best: frozenset = frozenset()
+    best_value = memo(frozenset())
+    for group in groups:
+        candidate = frozenset(group)
+        value = memo(candidate)
+        if value > best_value:
+            best, best_value = candidate, value
+    return best

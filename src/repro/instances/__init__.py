@@ -1,0 +1,47 @@
+"""Instance generators and realistic video-distribution workloads.
+
+- :mod:`repro.instances.generators` — random instance families with
+  controlled parameters (skew, budget tightness, small-streams
+  precondition), embeddings of classical problems (knapsack, budgeted
+  maximum coverage), and the paper's §4.2 tightness family.
+- :mod:`repro.instances.catalog` — synthetic channel catalogs (genres,
+  bitrate tiers, server cost models).
+- :mod:`repro.instances.population` — synthetic user populations with
+  Zipf channel preferences.
+- :mod:`repro.instances.workloads` — named end-to-end scenarios
+  combining a catalog and a population into an MMD instance.
+"""
+
+from repro.instances.catalog import CatalogConfig, build_catalog
+from repro.instances.generators import (
+    knapsack_instance,
+    max_coverage_instance,
+    random_mmd,
+    random_smd,
+    random_unit_skew_smd,
+    small_streams_mmd,
+    tightness_instance,
+)
+from repro.instances.population import PopulationConfig, build_population
+from repro.instances.workloads import (
+    cable_headend_workload,
+    iptv_neighborhood_workload,
+    small_streams_workload,
+)
+
+__all__ = [
+    "CatalogConfig",
+    "build_catalog",
+    "knapsack_instance",
+    "max_coverage_instance",
+    "random_mmd",
+    "random_smd",
+    "random_unit_skew_smd",
+    "small_streams_mmd",
+    "tightness_instance",
+    "PopulationConfig",
+    "build_population",
+    "cable_headend_workload",
+    "iptv_neighborhood_workload",
+    "small_streams_workload",
+]

@@ -1,0 +1,120 @@
+"""Synthetic channel catalogs with a server cost model.
+
+The paper's Fig. 1 server is constrained in outgoing communication
+bandwidth, processing bandwidth and number of input ports.  The catalog
+model prices each channel in those three measures:
+
+- **egress bandwidth** (Mbit/s): the stream's bitrate — SD/HD/UHD tiers;
+- **processing** (normalized transcode units): bitrate times a codec
+  factor (legacy MPEG-2 channels cost more to process per bit);
+- **input ports**: one unit per channel.
+
+Channels carry genre and popularity-rank attributes that the population
+model (:mod:`repro.instances.population`) turns into user utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import Stream
+from repro.exceptions import ValidationError
+from repro.util.rng import ensure_rng
+
+#: Bitrates per tier in Mbit/s (typical broadcast values).
+TIER_BITRATES = {"sd": 2.5, "hd": 8.0, "uhd": 16.0}
+
+#: Default genre mix (weights sum to 1 after normalization).
+DEFAULT_GENRES = {
+    "news": 0.15,
+    "sports": 0.15,
+    "movies": 0.2,
+    "kids": 0.1,
+    "music": 0.1,
+    "documentary": 0.1,
+    "general": 0.2,
+}
+
+
+@dataclass
+class CatalogConfig:
+    """Knobs for :func:`build_catalog`.
+
+    Attributes
+    ----------
+    tier_mix:
+        Fractions of SD/HD/UHD channels (normalized internally).
+    genres:
+        Genre weights for random genre labels.
+    codec_legacy_fraction:
+        Fraction of channels using a legacy codec (doubled processing
+        cost per bit).
+    """
+
+    tier_mix: "dict[str, float]" = field(
+        default_factory=lambda: {"sd": 0.4, "hd": 0.5, "uhd": 0.1}
+    )
+    genres: "dict[str, float]" = field(default_factory=lambda: dict(DEFAULT_GENRES))
+    codec_legacy_fraction: float = 0.3
+    processing_per_mbit: float = 1.0
+    legacy_processing_factor: float = 2.0
+
+
+def _normalized(weights: "dict[str, float]") -> "tuple[list[str], np.ndarray]":
+    keys = sorted(weights)
+    values = np.array([weights[k] for k in keys], dtype=float)
+    if values.sum() <= 0:
+        raise ValidationError("weights must have positive sum")
+    return keys, values / values.sum()
+
+
+def build_catalog(
+    num_channels: int,
+    seed: "int | np.random.Generator | None" = None,
+    config: "CatalogConfig | None" = None,
+    measures: Sequence[str] = ("egress", "processing", "ports"),
+) -> "list[Stream]":
+    """Build ``num_channels`` streams priced in the requested measures.
+
+    ``measures`` selects which server cost measures exist and their
+    order; any subset of ``("egress", "processing", "ports")``.
+    Channels are ranked by popularity: ``rank`` 0 is the most popular
+    (the population model assigns Zipf utility by rank).
+    """
+    cfg = config or CatalogConfig()
+    rng = ensure_rng(seed)
+    known = {"egress", "processing", "ports"}
+    unknown = set(measures) - known
+    if unknown:
+        raise ValidationError(f"unknown measures {sorted(unknown)!r}")
+    tiers, tier_probs = _normalized(cfg.tier_mix)
+    genres, genre_probs = _normalized(cfg.genres)
+    streams = []
+    for rank in range(num_channels):
+        tier = tiers[int(rng.choice(len(tiers), p=tier_probs))]
+        genre = genres[int(rng.choice(len(genres), p=genre_probs))]
+        bitrate = TIER_BITRATES[tier]
+        legacy = bool(rng.random() < cfg.codec_legacy_fraction)
+        processing = bitrate * cfg.processing_per_mbit * (
+            cfg.legacy_processing_factor if legacy else 1.0
+        )
+        by_name = {"egress": bitrate, "processing": processing, "ports": 1.0}
+        costs = tuple(by_name[name] for name in measures)
+        streams.append(
+            Stream(
+                stream_id=f"ch{rank:03d}",
+                costs=costs,
+                name=f"{genre.title()} {tier.upper()} #{rank}",
+                attrs={
+                    "genre": genre,
+                    "tier": tier,
+                    "bitrate": bitrate,
+                    "legacy_codec": legacy,
+                    "rank": rank,
+                },
+            )
+        )
+    return streams

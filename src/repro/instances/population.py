@@ -1,0 +1,153 @@
+"""Synthetic user populations with Zipf channel preferences.
+
+A user's utility for a channel combines:
+
+- global popularity: Zipf in the channel's popularity rank (TV viewing
+  is famously heavy-tailed);
+- genre affinity: each user has a preferred-genre multiplier;
+- idiosyncratic noise.
+
+Users come in two flavors matching the paper's Fig. 1: *households*
+(modest downlink, modest utility) and neighborhood *video gateways*
+(large downlink, utilities aggregated over many homes).  The single
+capacity measure is downlink bandwidth, loaded by each stream's bitrate
+— utilities and loads are deliberately *not* proportional, which is what
+gives realistic workloads their nontrivial local skew.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.instance import Stream, User
+from repro.exceptions import ValidationError
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class PopulationConfig:
+    """Knobs for :func:`build_population`.
+
+    Attributes
+    ----------
+    zipf_exponent:
+        Popularity decay ``s``: utility base ``∝ 1/(rank+1)^s``.
+    interest_probability:
+        Chance a user cares about a channel at all (sparsity).
+    genre_affinity:
+        Multiplier applied to channels of the user's favorite genre.
+    downlink_range:
+        Downlink capacity (Mbit/s) drawn uniformly from this range.
+    utility_scale:
+        Scales all utilities (e.g. revenue units per household).
+    utility_cap_fraction:
+        ``W_u`` as a fraction of the user's total utility
+        (``math.inf`` disables the cap — the formal §1.1 model).
+    """
+
+    zipf_exponent: float = 1.0
+    interest_probability: float = 0.7
+    genre_affinity: float = 3.0
+    downlink_range: "tuple[float, float]" = (20.0, 60.0)
+    utility_scale: float = 10.0
+    utility_cap_fraction: float = math.inf
+
+
+def build_population(
+    num_users: int,
+    catalog: Sequence[Stream],
+    seed: "int | np.random.Generator | None" = None,
+    config: "PopulationConfig | None" = None,
+    user_prefix: str = "home",
+) -> "list[User]":
+    """Build ``num_users`` users over the given catalog.
+
+    Each user's loads are the channel bitrates on his single downlink
+    capacity measure; his capacity is sized to fit at least the largest
+    single channel (the paper's ``w_u(S) = 0 if k_u(S) > K_u``
+    convention would otherwise zero the utility).
+    """
+    if not catalog:
+        raise ValidationError("catalog must not be empty")
+    cfg = config or PopulationConfig()
+    rng = ensure_rng(seed)
+    genres = sorted({str(s.attrs.get("genre", "general")) for s in catalog})
+    users = []
+    for j in range(num_users):
+        favorite = genres[int(rng.integers(0, len(genres)))]
+        downlink = float(rng.uniform(*cfg.downlink_range))
+        utilities: dict[str, float] = {}
+        loads: dict[str, tuple[float, ...]] = {}
+        for s in catalog:
+            if rng.random() >= cfg.interest_probability:
+                continue
+            rank = int(s.attrs.get("rank", 0))
+            bitrate = float(s.attrs.get("bitrate", s.costs[0]))
+            base = 1.0 / (rank + 1.0) ** cfg.zipf_exponent
+            affinity = cfg.genre_affinity if s.attrs.get("genre") == favorite else 1.0
+            noise = float(rng.uniform(0.5, 1.5))
+            utility = cfg.utility_scale * base * affinity * noise
+            if bitrate > downlink:
+                continue  # w_u(S) = 0 when a single stream exceeds capacity
+            utilities[s.stream_id] = utility
+            loads[s.stream_id] = (bitrate,)
+        if not utilities:
+            # Guarantee at least one interest: the cheapest channel.
+            cheapest = min(catalog, key=lambda s: float(s.attrs.get("bitrate", s.costs[0])))
+            bitrate = float(cheapest.attrs.get("bitrate", cheapest.costs[0]))
+            downlink = max(downlink, bitrate)
+            utilities[cheapest.stream_id] = cfg.utility_scale * 0.1
+            loads[cheapest.stream_id] = (bitrate,)
+        total = sum(utilities.values())
+        if math.isinf(cfg.utility_cap_fraction):
+            cap = math.inf
+        else:
+            cap = max(
+                cfg.utility_cap_fraction * total, max(utilities.values())
+            )
+        users.append(
+            User(
+                user_id=f"{user_prefix}{j:03d}",
+                utility_cap=cap,
+                capacities=(downlink,),
+                utilities=utilities,
+                loads=loads,
+                attrs={"favorite_genre": favorite, "downlink": downlink},
+            )
+        )
+    return users
+
+
+def aggregate_gateway(
+    households: Sequence[User],
+    gateway_id: str,
+    uplink: float,
+) -> User:
+    """Aggregate households into one neighborhood gateway user.
+
+    The gateway's utility for a channel is the sum over its households;
+    its single capacity measure is the shared uplink, loaded once per
+    channel (multicast within the neighborhood).
+    """
+    if not households:
+        raise ValidationError("a gateway needs at least one household")
+    utilities: dict[str, float] = {}
+    loads: dict[str, tuple[float, ...]] = {}
+    for home in households:
+        for sid, w in home.utilities.items():
+            utilities[sid] = utilities.get(sid, 0.0) + w
+            loads[sid] = home.loads.get(sid, (0.0,))
+    # Drop channels whose single-stream load exceeds the uplink.
+    keep = {sid for sid in utilities if loads.get(sid, (0.0,))[0] <= uplink}
+    return User(
+        user_id=gateway_id,
+        utility_cap=math.inf,
+        capacities=(uplink,),
+        utilities={sid: utilities[sid] for sid in keep},
+        loads={sid: loads[sid] for sid in keep},
+        attrs={"kind": "gateway", "households": len(households)},
+    )

@@ -1,0 +1,149 @@
+"""Named end-to-end workload scenarios.
+
+Each function assembles a catalog and a population into an
+:class:`~repro.core.instance.MMDInstance` mirroring one of the paper's
+deployment stories (Fig. 1):
+
+- :func:`cable_headend_workload` — a cable head-end serving
+  neighborhood video gateways, with egress-bandwidth, processing and
+  input-port budgets (``m = 3``);
+- :func:`iptv_neighborhood_workload` — a video gateway serving
+  households over a single shared link (``m = 1``);
+- :func:`small_streams_workload` — a large SD-only catalog against
+  generous budgets, landing in the Theorem 1.2 small-streams regime.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.instance import MMDInstance
+from repro.instances.catalog import CatalogConfig, build_catalog
+from repro.instances.population import (
+    PopulationConfig,
+    aggregate_gateway,
+    build_population,
+)
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+def cable_headend_workload(
+    num_channels: int = 60,
+    num_gateways: int = 8,
+    households_per_gateway: int = 12,
+    seed: "int | np.random.Generator | None" = 0,
+    egress_fraction: float = 0.35,
+    processing_fraction: float = 0.4,
+    port_fraction: float = 0.5,
+) -> MMDInstance:
+    """Cable head-end scenario: ``m = 3`` budgets, gateway clients.
+
+    Budgets are set as fractions of the catalog's total demands, so the
+    knapsack is tight in every measure.  Gateways aggregate household
+    utilities; their capacity is a shared uplink sized to carry roughly
+    half the catalog.
+    """
+    rng = ensure_rng(seed)
+    catalog_rng, pop_rng, uplink_rng = spawn_rngs(rng, 3)
+    catalog = build_catalog(
+        num_channels,
+        seed=catalog_rng,
+        measures=("egress", "processing", "ports"),
+    )
+    total_egress = sum(s.costs[0] for s in catalog)
+    total_processing = sum(s.costs[1] for s in catalog)
+    budgets = (
+        max(egress_fraction * total_egress, max(s.costs[0] for s in catalog)),
+        max(processing_fraction * total_processing, max(s.costs[1] for s in catalog)),
+        max(1.0, round(port_fraction * num_channels)),
+    )
+    gateways = []
+    pop_children = spawn_rngs(pop_rng, num_gateways)
+    for g in range(num_gateways):
+        homes = build_population(
+            households_per_gateway,
+            catalog,
+            seed=pop_children[g],
+            config=PopulationConfig(downlink_range=(30.0, 80.0)),
+            user_prefix=f"gw{g:02d}-home",
+        )
+        uplink = float(uplink_rng.uniform(0.4, 0.7)) * total_egress / 2.0
+        gateways.append(aggregate_gateway(homes, f"gw{g:02d}", uplink))
+    return MMDInstance(catalog, gateways, budgets, name="cable-headend")
+
+
+def iptv_neighborhood_workload(
+    num_channels: int = 40,
+    num_households: int = 30,
+    seed: "int | np.random.Generator | None" = 0,
+    egress_fraction: float = 0.3,
+    utility_cap_fraction: float = math.inf,
+) -> MMDInstance:
+    """Video-gateway scenario: one egress budget, household clients.
+
+    The single budget is the gateway's outgoing link; each household is
+    capacity-limited by its downlink.  ``utility_cap_fraction`` can
+    impose finite per-household utility caps (the §2 flavor).
+    """
+    rng = ensure_rng(seed)
+    catalog_rng, pop_rng = spawn_rngs(rng, 2)
+    catalog = build_catalog(num_channels, seed=catalog_rng, measures=("egress",))
+    total_egress = sum(s.costs[0] for s in catalog)
+    budget = max(egress_fraction * total_egress, max(s.costs[0] for s in catalog))
+    households = build_population(
+        num_households,
+        catalog,
+        seed=pop_rng,
+        config=PopulationConfig(utility_cap_fraction=utility_cap_fraction),
+    )
+    return MMDInstance(catalog, households, (budget,), name="iptv-neighborhood")
+
+
+def small_streams_workload(
+    num_channels: int = 80,
+    num_households: int = 20,
+    seed: "int | np.random.Generator | None" = 0,
+) -> MMDInstance:
+    """A Theorem 1.2 regime workload: a large SD-only catalog (uniform
+    2.5 Mbit/s streams) against budgets at least ``log₂ µ`` times any
+    single stream."""
+    rng = ensure_rng(seed)
+    catalog_rng, pop_rng = spawn_rngs(rng, 2)
+    catalog = build_catalog(
+        num_channels,
+        seed=catalog_rng,
+        config=CatalogConfig(tier_mix={"sd": 1.0}),
+        measures=("egress",),
+    )
+    households = build_population(
+        num_households,
+        catalog,
+        seed=pop_rng,
+        config=PopulationConfig(downlink_range=(100.0, 200.0)),
+    )
+    # All streams cost 2.5; γ is scale-invariant in the budget, so size
+    # the budget after the fact exactly like small_streams_mmd does.
+    from repro.core.allocate import global_skew_parameters
+    from repro.core.instance import User
+
+    draft = MMDInstance(catalog, households, (math.inf,), name="small-streams-draft")
+    _gamma, mu, _d = global_skew_parameters(draft)
+    log_mu = math.log2(mu)
+    budget = 1.5 * log_mu * max(s.costs[0] for s in catalog)
+    users = []
+    for u in households:
+        biggest = max((vec[0] for vec in u.loads.values()), default=2.5)
+        capacity = max(u.capacities[0], 1.5 * log_mu * biggest)
+        users.append(
+            User(
+                user_id=u.user_id,
+                utility_cap=u.utility_cap,
+                capacities=(capacity,),
+                utilities=dict(u.utilities),
+                loads=dict(u.loads),
+                attrs=u.attrs,
+            )
+        )
+    return MMDInstance(catalog, users, (budget,), name="small-streams")

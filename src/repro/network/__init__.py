@@ -1,0 +1,39 @@
+"""Multicast distribution-tree substrate.
+
+The paper's model (Fig. 1) constrains two places: the server's egress
+and each client's access link — i.e. a **two-level** distribution tree.
+Real cable/IPTV plants are deeper: head-end → fiber nodes → service
+groups → homes, and *every* intermediate link has finite capacity, with
+a stream loading a link iff some receiving user sits below it.
+
+This subpackage models that generalization:
+
+- :mod:`repro.network.topology` — distribution trees (networkx-backed),
+  builders for typical plant shapes;
+- :mod:`repro.network.multicast` — per-link load accounting for an
+  assignment, feasibility checks, and the conservative projection back
+  to the paper's two-level MMD model;
+- :mod:`repro.network.admission` — tree-aware greedy admission and the
+  tree-aware threshold baseline.
+
+The paper's model is recovered exactly by a tree of depth 1 (root =
+server, leaves = users): `project_to_mmd` then reproduces the original
+instance, which the tests verify.  Deeper trees are *strictly* harder:
+a plain-MMD-feasible assignment can overload an interior link — the A3
+ablation bench quantifies how often.
+"""
+
+from repro.network.admission import tree_greedy, tree_threshold
+from repro.network.multicast import MulticastState, link_loads, project_to_mmd
+from repro.network.topology import DistributionTree, build_plant, two_level_tree
+
+__all__ = [
+    "DistributionTree",
+    "build_plant",
+    "two_level_tree",
+    "MulticastState",
+    "link_loads",
+    "project_to_mmd",
+    "tree_greedy",
+    "tree_threshold",
+]

@@ -1,0 +1,111 @@
+"""Tree-aware admission algorithms.
+
+Two algorithms operating directly on the distribution tree (no MMD
+projection, so interior links are respected):
+
+- :func:`tree_threshold` — the deployed baseline generalized to trees:
+  walk streams in order, deliver to every user whose *whole path* fits;
+- :func:`tree_greedy` — the paper's §2.1 discipline generalized: pick
+  the (stream, receiver-set) of best residual utility per unit of newly
+  consumed tree bandwidth.
+
+Neither carries the paper's guarantee (tree-MMD is outside the paper's
+model); they bracket how much the two-level abstraction gives away,
+which the A3 bench reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance
+from repro.network.multicast import MulticastState, _bitrate
+from repro.network.topology import DistributionTree
+
+
+def tree_threshold(
+    tree: DistributionTree,
+    instance: MMDInstance,
+    order: "Iterable[str] | None" = None,
+    margin: float = 1.0,
+) -> Assignment:
+    """First-come-first-served over the tree: deliver each stream to every
+    interested user whose root-to-leaf path still has room."""
+    state = MulticastState(tree, instance)
+    assignment = Assignment(instance)
+    sequence = list(order) if order is not None else instance.stream_ids()
+    for sid in sequence:
+        for user in instance.interested_users(sid):
+            if state.fits(sid, user.user_id, margin=margin):
+                state.add(sid, user.user_id)
+                assignment.add(user.user_id, sid)
+    return assignment
+
+
+def tree_greedy(
+    tree: DistributionTree,
+    instance: MMDInstance,
+) -> Assignment:
+    """Residual-density greedy over the tree.
+
+    Repeatedly pick the stream maximizing (capped residual utility of
+    its addable receivers) / (bandwidth newly consumed across all their
+    paths), then commit those receivers.  Terminates when no stream can
+    add utility.
+    """
+    state = MulticastState(tree, instance)
+    assignment = Assignment(instance)
+    user_raw = {u.user_id: 0.0 for u in instance.users}
+
+    def candidate(sid: str) -> "tuple[float, float, list[str]]":
+        """(gain, new bandwidth, receivers) for one stream right now."""
+        rate = _bitrate(instance, sid)
+        gain = 0.0
+        new_edges: set = set()
+        receivers = []
+        for user in instance.interested_users(sid):
+            if sid in assignment.streams_of(user.user_id):
+                continue
+            headroom = user.utility_cap - user_raw[user.user_id]
+            marginal = min(user.utilities[sid], max(headroom, 0.0))
+            if marginal <= 0:
+                continue
+            if not state.fits(sid, user.user_id):
+                continue
+            # Note: fits() is per-user against current loads; joint
+            # feasibility of several new receivers sharing a branch is
+            # re-checked at commit time below.
+            receivers.append(user.user_id)
+            gain += marginal
+            new_edges.update(state.new_edges_for(sid, user.user_id))
+        return gain, rate * len(new_edges), receivers
+
+    while True:
+        best_sid = None
+        best_receivers: "list[str]" = []
+        best_density = 0.0
+        for sid in instance.stream_ids():
+            gain, bandwidth, receivers = candidate(sid)
+            if gain <= 0 or not receivers:
+                continue
+            density = gain / bandwidth if bandwidth > 0 else float("inf")
+            if density > best_density:
+                best_density = density
+                best_sid, best_receivers = sid, receivers
+        if best_sid is None:
+            break
+        committed = False
+        for uid in best_receivers:
+            # Re-check: earlier commits in this batch may have consumed
+            # shared branch capacity.
+            if state.fits(best_sid, uid):
+                state.add(best_sid, uid)
+                assignment.add(uid, best_sid)
+                user_raw[uid] += instance.user(uid).utilities[best_sid]
+                committed = True
+        if not committed:
+            # Nothing from the chosen batch fit after re-checks; stop to
+            # guarantee termination (fits() will keep failing).
+            break
+    return assignment

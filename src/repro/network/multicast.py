@@ -1,0 +1,203 @@
+"""Per-link multicast load accounting over a distribution tree.
+
+The defining rule: a stream loads edge ``e`` by its bitrate iff at least
+one user below ``e`` receives it.  This makes interior links *shared*
+constraints that the paper's two-budget model cannot express — plain MMD
+charges the server once per transmitted stream and each user
+individually, which is exactly the depth-1 special case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.assignment import Assignment
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance, Stream, User
+from repro.exceptions import ValidationError
+from repro.network.topology import DistributionTree
+
+
+def _bitrate(instance: MMDInstance, stream_id: str) -> float:
+    """A stream's bandwidth demand: its ``bitrate`` attribute, falling
+    back to its first cost measure."""
+    stream = instance.stream(stream_id)
+    return float(stream.attrs.get("bitrate", stream.costs[0]))
+
+
+def link_loads(
+    tree: DistributionTree,
+    instance: MMDInstance,
+    assignment: Assignment,
+) -> "dict[tuple[str, str], float]":
+    """Bandwidth on every edge under the multicast rule."""
+    loads: dict[tuple[str, str], float] = {edge: 0.0 for edge in tree.edges}
+    for sid in assignment.assigned_streams():
+        receivers = set(assignment.receivers_of(sid))
+        if not receivers:
+            continue
+        rate = _bitrate(instance, sid)
+        touched: set[tuple[str, str]] = set()
+        for uid in receivers:
+            touched.update(tree.path_to(uid))
+        for edge in touched:
+            loads[edge] += rate
+    return loads
+
+
+@dataclass
+class MulticastState:
+    """Incremental per-link accounting for online admission over a tree.
+
+    Tracks, per edge, the current bandwidth and which streams it carries
+    (so adding a receiver for an already-carried stream only loads the
+    new branch).
+    """
+
+    tree: DistributionTree
+    instance: MMDInstance
+    used: "dict[tuple[str, str], float]" = field(default_factory=dict)
+    carried: "dict[tuple[str, str], set[str]]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for edge in self.tree.edges:
+            self.used.setdefault(edge, 0.0)
+            self.carried.setdefault(edge, set())
+        missing = set(self.instance.user_ids()) - set(self.tree.leaves)
+        if missing:
+            raise ValidationError(
+                f"users {sorted(missing)!r} are not leaves of the tree"
+            )
+
+    def new_edges_for(self, stream_id: str, user_id: str) -> "list[tuple[str, str]]":
+        """Edges that would newly carry the stream if ``user_id`` joined."""
+        return [
+            edge
+            for edge in self.tree.path_to(user_id)
+            if stream_id not in self.carried[edge]
+        ]
+
+    def fits(self, stream_id: str, user_id: str, margin: float = 1.0) -> bool:
+        """Would adding this receiver overload any newly-loaded edge?"""
+        rate = _bitrate(self.instance, stream_id)
+        for edge in self.new_edges_for(stream_id, user_id):
+            capacity = self.tree.capacity(edge)
+            if math.isinf(capacity):
+                continue
+            if self.used[edge] + rate > margin * capacity * (1 + FEASIBILITY_RTOL):
+                return False
+        return True
+
+    def add(self, stream_id: str, user_id: str) -> None:
+        """Commit a delivery (caller checks :meth:`fits` first)."""
+        rate = _bitrate(self.instance, stream_id)
+        for edge in self.new_edges_for(stream_id, user_id):
+            self.used[edge] += rate
+            self.carried[edge].add(stream_id)
+
+    def remove_stream(self, stream_id: str) -> None:
+        """Release a stream from every edge carrying it."""
+        rate = _bitrate(self.instance, stream_id)
+        for edge, streams in self.carried.items():
+            if stream_id in streams:
+                streams.discard(stream_id)
+                self.used[edge] -= rate
+
+    def is_feasible(self) -> bool:
+        return all(
+            math.isinf(self.tree.capacity(edge))
+            or self.used[edge] <= self.tree.capacity(edge) * (1 + FEASIBILITY_RTOL)
+            for edge in self.tree.edges
+        )
+
+    def peak_utilization(self) -> float:
+        peak = 0.0
+        for edge in self.tree.edges:
+            capacity = self.tree.capacity(edge)
+            if not math.isinf(capacity) and capacity > 0:
+                peak = max(peak, self.used[edge] / capacity)
+        return peak
+
+
+def assignment_is_tree_feasible(
+    tree: DistributionTree,
+    instance: MMDInstance,
+    assignment: Assignment,
+    rtol: float = FEASIBILITY_RTOL,
+) -> bool:
+    """Every edge's multicast load within its capacity?"""
+    loads = link_loads(tree, instance, assignment)
+    for edge, load in loads.items():
+        capacity = tree.capacity(edge)
+        if not math.isinf(capacity) and load > capacity * (1 + rtol):
+            return False
+    return True
+
+
+def project_to_mmd(
+    tree: DistributionTree,
+    streams: Iterable[Stream],
+    utilities: "Mapping[str, Mapping[str, float]]",
+    name: str = "",
+) -> MMDInstance:
+    """Project a tree problem onto the paper's two-level MMD model.
+
+    Keeps the **root edge** as the single server budget and each user's
+    **access edge** as his single capacity measure — discarding interior
+    links.  On a :func:`~repro.network.topology.two_level_tree` this is
+    exact; on deeper trees it is an optimistic relaxation (its feasible
+    region contains the tree's), which is precisely the modeling gap the
+    A3 ablation measures.
+
+    ``utilities[user_id][stream_id]`` must cover exactly the tree's
+    leaf users.
+    """
+    stream_list = list(streams)
+    root_edges = [e for e in tree.edges if e[0] == tree.root]
+    if not root_edges:
+        raise ValidationError("tree has no root edge")
+    # Several root edges = several server ports: the projected egress
+    # budget is their total capacity.
+    budget = sum(tree.capacity(e) for e in root_edges)
+
+    def bitrate(stream: Stream) -> float:
+        return float(stream.attrs.get("bitrate", stream.costs[0]))
+
+    projected_streams = [
+        Stream(
+            stream_id=s.stream_id,
+            costs=(bitrate(s),),
+            name=s.name,
+            attrs=s.attrs,
+        )
+        for s in stream_list
+        if bitrate(s) <= budget
+    ]
+    usable = {s.stream_id for s in projected_streams}
+    users = []
+    for uid in tree.leaves:
+        access_capacity = tree.capacity(tree.access_edge(uid))
+        user_utilities = {
+            sid: w
+            for sid, w in utilities.get(uid, {}).items()
+            if w > 0 and sid in usable
+        }
+        loads = {}
+        kept = {}
+        for sid, w in user_utilities.items():
+            stream = next(s for s in projected_streams if s.stream_id == sid)
+            rate = bitrate(stream)
+            if rate <= access_capacity:
+                kept[sid] = w
+                loads[sid] = (rate,)
+        users.append(
+            User(
+                user_id=uid,
+                utility_cap=math.inf,
+                capacities=(access_capacity,),
+                utilities=kept,
+                loads=loads,
+            )
+        )
+    return MMDInstance(projected_streams, users, (budget,), name=name or "tree-projection")

@@ -1,0 +1,154 @@
+"""Distribution-tree topologies.
+
+A :class:`DistributionTree` is a rooted tree whose root is the server,
+whose leaves are users, and whose edges carry bandwidth capacities.  A
+multicast stream consumes its bitrate on an edge iff at least one
+receiving user lies in the subtree below that edge — the defining
+property that makes deeper trees strictly harder than the paper's
+two-level model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.exceptions import ValidationError
+from repro.util.rng import ensure_rng
+
+#: Node id of the server/root in every tree built here.
+ROOT = "head-end"
+
+
+@dataclass
+class DistributionTree:
+    """A rooted capacitated distribution tree.
+
+    Attributes
+    ----------
+    graph:
+        Directed tree (edges point away from the root); each edge has a
+        ``capacity`` attribute (Mbit/s, may be ``inf``).
+    root:
+        The server node.
+    """
+
+    graph: nx.DiGraph
+    root: str = ROOT
+    _leaf_cache: "tuple[str, ...] | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.root not in self.graph:
+            raise ValidationError(f"root {self.root!r} not in graph")
+        if not nx.is_arborescence(self.graph):
+            raise ValidationError("distribution network must be a rooted tree")
+        for u, v, data in self.graph.edges(data=True):
+            if "capacity" not in data:
+                raise ValidationError(f"edge ({u}, {v}) has no capacity")
+            if data["capacity"] < 0:
+                raise ValidationError(f"edge ({u}, {v}) has negative capacity")
+
+    @property
+    def leaves(self) -> "tuple[str, ...]":
+        """User nodes (out-degree zero)."""
+        if self._leaf_cache is None:
+            object.__setattr__(
+                self,
+                "_leaf_cache",
+                tuple(n for n in self.graph.nodes if self.graph.out_degree(n) == 0),
+            )
+        return self._leaf_cache
+
+    @property
+    def edges(self) -> "list[tuple[str, str]]":
+        return list(self.graph.edges)
+
+    def capacity(self, edge: "tuple[str, str]") -> float:
+        return float(self.graph.edges[edge]["capacity"])
+
+    def path_to(self, leaf: str) -> "list[tuple[str, str]]":
+        """Edges from the root down to a leaf."""
+        if leaf not in self.graph:
+            raise ValidationError(f"unknown node {leaf!r}")
+        nodes = nx.shortest_path(self.graph, self.root, leaf)
+        return list(zip(nodes, nodes[1:]))
+
+    def subtree_leaves(self, edge: "tuple[str, str]") -> "frozenset[str]":
+        """Leaves reachable below an edge (the users an edge can feed)."""
+        _parent, child = edge
+        below = nx.descendants(self.graph, child) | {child}
+        return frozenset(n for n in below if self.graph.out_degree(n) == 0)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        return max(
+            (len(self.path_to(leaf)) for leaf in self.leaves), default=0
+        )
+
+    def access_edge(self, leaf: str) -> "tuple[str, str]":
+        """The last edge into a leaf (the user's access link)."""
+        preds = list(self.graph.predecessors(leaf))
+        if len(preds) != 1:
+            raise ValidationError(f"{leaf!r} is not a leaf with a single parent")
+        return (preds[0], leaf)
+
+
+def two_level_tree(
+    user_ids: Iterable[str],
+    server_capacity: float,
+    access_capacities: "Mapping[str, float]",
+) -> DistributionTree:
+    """The paper's Fig. 1 shape: root → virtual egress node → users.
+
+    The single root edge is the server's egress budget; each access edge
+    is the user's downlink capacity.  ``project_to_mmd`` on this tree
+    reproduces the plain MMD model exactly.
+    """
+    graph = nx.DiGraph()
+    egress = "egress"
+    graph.add_edge(ROOT, egress, capacity=float(server_capacity))
+    for uid in user_ids:
+        graph.add_edge(egress, uid, capacity=float(access_capacities[uid]))
+    return DistributionTree(graph)
+
+
+def build_plant(
+    num_fiber_nodes: int,
+    groups_per_node: int,
+    homes_per_group: int,
+    seed: "int | None" = None,
+    server_capacity: float = 2000.0,
+    fiber_capacity_range: "tuple[float, float]" = (300.0, 600.0),
+    group_capacity_range: "tuple[float, float]" = (80.0, 160.0),
+    access_capacity_range: "tuple[float, float]" = (20.0, 60.0),
+) -> DistributionTree:
+    """A typical HFC plant: head-end → fiber nodes → service groups → homes.
+
+    Returns a depth-4 tree (root edge counts as level 1).  Home node ids
+    are ``fn{i}-sg{j}-home{k}``; they double as user ids for instances
+    built over the tree.
+    """
+    if min(num_fiber_nodes, groups_per_node, homes_per_group) < 1:
+        raise ValidationError("plant dimensions must be positive")
+    rng = ensure_rng(seed)
+    graph = nx.DiGraph()
+    backbone = "backbone"
+    graph.add_edge(ROOT, backbone, capacity=float(server_capacity))
+    for i in range(num_fiber_nodes):
+        fn = f"fn{i}"
+        graph.add_edge(
+            backbone, fn, capacity=float(rng.uniform(*fiber_capacity_range))
+        )
+        for j in range(groups_per_node):
+            sg = f"fn{i}-sg{j}"
+            graph.add_edge(
+                fn, sg, capacity=float(rng.uniform(*group_capacity_range))
+            )
+            for k in range(homes_per_group):
+                home = f"fn{i}-sg{j}-home{k}"
+                graph.add_edge(
+                    sg, home, capacity=float(rng.uniform(*access_capacity_range))
+                )
+    return DistributionTree(graph)

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate for video distribution.
+
+The paper evaluates nothing empirically; its deployment story (Fig. 1 —
+a head-end or gateway admitting multicast streams under bandwidth,
+processing and port budgets) is what this substrate simulates, so that
+the *online* algorithm of §5 and the threshold baseline of §1 can be
+compared in a dynamic setting with stream arrivals and departures.
+
+- :mod:`repro.sim.engine` — a minimal generator-based discrete-event
+  engine (simpy is not available offline; this is self-contained and
+  unit-tested on its own).
+- :mod:`repro.sim.policies` — online admission policies: threshold,
+  exponential-cost (Algorithm *Allocate*), static density, random.
+- :mod:`repro.sim.simulation` — the video-distribution simulation:
+  Poisson stream arrivals with exponential lifetimes, utility accrual
+  per receiving user per unit time.
+- :mod:`repro.sim.metrics` — time-weighted statistics and reports.
+"""
+
+from repro.sim.engine import Engine, Process, Timeout
+from repro.sim.metrics import SimulationReport, TimeWeightedValue
+from repro.sim.policies import (
+    AdmissionPolicy,
+    AllocatePolicy,
+    DensityPolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.sim.simulation import ArrivalModel, VideoDistributionSim
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Timeout",
+    "SimulationReport",
+    "TimeWeightedValue",
+    "AdmissionPolicy",
+    "AllocatePolicy",
+    "DensityPolicy",
+    "RandomPolicy",
+    "ThresholdPolicy",
+    "ArrivalModel",
+    "VideoDistributionSim",
+]

@@ -1,0 +1,130 @@
+"""Time-weighted metrics and simulation reports.
+
+Utility in the dynamic setting accrues per unit time: a stream assigned
+to a user earns ``w_u(S)`` per time unit while active.  The metrics
+here integrate such piecewise-constant signals exactly (no sampling):
+:class:`TimeWeightedValue` records value changes and integrates on
+read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TimeWeightedValue:
+    """Exact integrator for a piecewise-constant signal.
+
+    >>> v = TimeWeightedValue()
+    >>> v.set(0.0, 2.0)   # value 2 from t=0
+    >>> v.set(5.0, 0.0)   # value 0 from t=5
+    >>> v.integral(10.0)
+    10.0
+    >>> v.mean(10.0)
+    1.0
+    """
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._value = initial
+        self._last_time = 0.0
+        self._area = 0.0
+        self.peak = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, time: float, value: float) -> None:
+        """Record that the signal becomes ``value`` at ``time``."""
+        if time < self._last_time:
+            raise ValueError(f"time went backwards: {time} < {self._last_time}")
+        self._area += self._value * (time - self._last_time)
+        self._last_time = time
+        self._value = value
+        self.peak = max(self.peak, value)
+
+    def add(self, time: float, delta: float) -> None:
+        """Record a step change of ``delta`` at ``time``."""
+        self.set(time, self._value + delta)
+
+    def integral(self, until: float) -> float:
+        """∫ signal dt from 0 to ``until``."""
+        if until < self._last_time:
+            raise ValueError(f"until={until} precedes last update {self._last_time}")
+        return self._area + self._value * (until - self._last_time)
+
+    def mean(self, until: float) -> float:
+        """Time average over [0, until]."""
+        if until <= 0:
+            return 0.0
+        return self.integral(until) / until
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulation run under one policy.
+
+    Attributes
+    ----------
+    policy_name:
+        The admission policy that produced this run.
+    horizon:
+        Simulated time span.
+    utility_time:
+        ∫ (instantaneous total utility rate) dt — the headline metric.
+    offered / admitted:
+        Stream session counts.
+    mean_utility_rate:
+        ``utility_time / horizon``.
+    server_utilization:
+        Per-measure time-averaged normalized load.
+    peak_server_utilization:
+        Per-measure peak normalized load (must stay at most 1 for a
+        feasible policy).
+    deliveries:
+        Total (stream, user) deliveries over the run.
+    """
+
+    policy_name: str
+    horizon: float
+    utility_time: float = 0.0
+    offered: int = 0
+    admitted: int = 0
+    deliveries: int = 0
+    server_utilization: "dict[int, float]" = field(default_factory=dict)
+    peak_server_utilization: "dict[int, float]" = field(default_factory=dict)
+    per_user_utility: "dict[str, float]" = field(default_factory=dict)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.admitted / self.offered if self.offered else 0.0
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain's fairness index over per-user collected utility·time:
+        ``(Σx)² / (n·Σx²)`` — 1.0 is perfectly even, ``1/n`` is one user
+        taking everything.  Utility-maximizing policies are *not*
+        fairness-maximizing; this metric quantifies the trade."""
+        values = list(self.per_user_utility.values())
+        if not values:
+            return 1.0
+        total = sum(values)
+        squares = sum(v * v for v in values)
+        if squares == 0:
+            return 1.0
+        return total * total / (len(values) * squares)
+
+    @property
+    def mean_utility_rate(self) -> float:
+        return self.utility_time / self.horizon if self.horizon > 0 else 0.0
+
+    def summary_row(self) -> "list[object]":
+        """Row for the E9 benchmark table."""
+        max_util = max(self.peak_server_utilization.values(), default=0.0)
+        return [
+            self.policy_name,
+            self.utility_time,
+            self.mean_utility_rate,
+            self.acceptance_rate,
+            max_util,
+        ]

@@ -1,0 +1,208 @@
+"""Online admission policies for the video-distribution simulator.
+
+A policy answers one question per stream-session arrival: *carry this
+stream, and deliver it to which users?*  The simulator owns the ground
+truth of resource usage and exposes it through :class:`ResourceView`;
+it also hard-enforces feasibility after the policy answers, so a buggy
+policy cannot oversubscribe the plant (violations are counted and
+reported instead).
+
+Policies:
+
+- :class:`ThresholdPolicy` — the deployed baseline of the paper's
+  introduction: admit while every resource stays within a safety
+  margin, utility-blind.
+- :class:`AllocatePolicy` — the paper's §5 exponential-cost algorithm
+  (:class:`repro.core.allocate.OnlineAllocator`) with the
+  finite-duration extension: departures return their load.
+- :class:`DensityPolicy` — admit only streams whose static
+  utility-per-cost density clears a quantile of the catalog (a smarter
+  utility-aware heuristic that still ignores load state).
+- :class:`RandomPolicy` — admit with probability ``p``, deliver to all
+  fitting users (a noise floor).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.allocate import OnlineAllocator
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+from repro.util.rng import ensure_rng
+
+
+class ResourceView:
+    """Read-only usage snapshot handed to policies.
+
+    Attributes
+    ----------
+    instance:
+        The static instance (catalog, users, budgets).
+    server_used:
+        Current per-measure server usage.
+    user_used:
+        Current per-user, per-measure usage.
+    active_streams:
+        Streams currently carried.
+    """
+
+    def __init__(self, instance: MMDInstance) -> None:
+        self.instance = instance
+        self.server_used: "list[float]" = [0.0] * instance.m
+        self.user_used: "dict[str, list[float]]" = {
+            u.user_id: [0.0] * instance.mc for u in instance.users
+        }
+        self.active_streams: set[str] = set()
+
+    def fits_server(self, stream_id: str, margin: float = 1.0) -> bool:
+        """Would carrying the stream keep all server budgets within
+        ``margin`` of their caps?"""
+        stream = self.instance.stream(stream_id)
+        for i, budget in enumerate(self.instance.budgets):
+            if math.isinf(budget):
+                continue
+            if self.server_used[i] + stream.costs[i] > margin * budget * (1 + FEASIBILITY_RTOL):
+                return False
+        return True
+
+    def fits_user(self, user_id: str, stream_id: str, margin: float = 1.0) -> bool:
+        """Would delivering the stream keep this user's capacities within
+        ``margin`` of their caps?"""
+        user = self.instance.user(user_id)
+        loads = user.load_vector(stream_id)
+        for j, cap in enumerate(user.capacities):
+            if math.isinf(cap):
+                continue
+            if self.user_used[user_id][j] + loads[j] > margin * cap * (1 + FEASIBILITY_RTOL):
+                return False
+        return True
+
+    def interested_users(self, stream_id: str) -> "list[str]":
+        return [u.user_id for u in self.instance.users if stream_id in u.utilities]
+
+
+class AdmissionPolicy(ABC):
+    """Interface the simulator drives."""
+
+    name = "policy"
+
+    def bind(self, instance: MMDInstance) -> None:
+        """Called once before the run with the full instance (catalog
+        known, arrival order unknown — the §5 online model)."""
+
+    @abstractmethod
+    def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
+        """Decide the receiver set for an arriving stream session
+        (empty = reject)."""
+
+    def on_release(self, stream_id: str) -> None:
+        """Called when an admitted session departs."""
+
+
+class ThresholdPolicy(AdmissionPolicy):
+    """The paper-motivating baseline: admit within safety margins,
+    deliver to every interested user whose margins fit; first come,
+    first served, utility-blind."""
+
+    def __init__(self, margin: float = 1.0) -> None:
+        self.margin = margin
+        self.name = f"threshold(m={margin:g})"
+
+    def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
+        if not view.fits_server(stream_id, self.margin):
+            return []
+        receivers = [
+            uid
+            for uid in view.interested_users(stream_id)
+            if view.fits_user(uid, stream_id, self.margin)
+        ]
+        return receivers
+
+
+class AllocatePolicy(AdmissionPolicy):
+    """Algorithm *Allocate* (§5) as a live admission policy.
+
+    Keeps its own :class:`OnlineAllocator`; departures call
+    :meth:`OnlineAllocator.release`, the paper-footnote extension for
+    streams of finite duration.
+    """
+
+    def __init__(self, mu: "float | None" = None) -> None:
+        self._mu = mu
+        self._allocator: "OnlineAllocator | None" = None
+        self.name = "allocate"
+
+    def bind(self, instance: MMDInstance) -> None:
+        self._allocator = OnlineAllocator(instance, mu=self._mu, enforce_budgets=True)
+        self.name = f"allocate(mu={self._allocator.mu:.3g})"
+
+    def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
+        assert self._allocator is not None, "bind() was not called"
+        return self._allocator.offer(stream_id)
+
+    def on_release(self, stream_id: str) -> None:
+        assert self._allocator is not None
+        self._allocator.release(stream_id)
+
+
+class DensityPolicy(AdmissionPolicy):
+    """Admit streams whose static density ``w(S)/c(S)`` is in the top
+    ``quantile`` of the catalog and that currently fit; utility-aware
+    but state-blind (no exponential costs, no residual utilities)."""
+
+    def __init__(self, quantile: float = 0.5) -> None:
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0,1], got {quantile}")
+        self.quantile = quantile
+        self._cutoff = 0.0
+        self.name = f"density(q={quantile:g})"
+
+    def bind(self, instance: MMDInstance) -> None:
+        finite = [i for i, b in enumerate(instance.budgets) if not math.isinf(b)]
+        densities = []
+        for s in instance.streams:
+            cost = sum(s.costs[i] / instance.budgets[i] for i in finite)
+            w = instance.total_utility(s.stream_id)
+            densities.append(w / cost if cost > 0 else math.inf)
+        if densities:
+            self._cutoff = float(np.quantile(np.array(densities), self.quantile))
+        self._instance = instance
+        self._finite = finite
+
+    def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
+        stream = self._instance.stream(stream_id)
+        cost = sum(stream.costs[i] / self._instance.budgets[i] for i in self._finite)
+        w = self._instance.total_utility(stream_id)
+        density = w / cost if cost > 0 else math.inf
+        if density < self._cutoff:
+            return []
+        if not view.fits_server(stream_id):
+            return []
+        return [
+            uid
+            for uid in view.interested_users(stream_id)
+            if view.fits_user(uid, stream_id)
+        ]
+
+
+class RandomPolicy(AdmissionPolicy):
+    """Admit with probability ``p`` (then fit-check); the noise floor."""
+
+    def __init__(self, p: float = 0.5, seed: "int | None" = 0) -> None:
+        self.p = p
+        self._rng = ensure_rng(seed)
+        self.name = f"random(p={p:g})"
+
+    def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
+        if self._rng.random() >= self.p:
+            return []
+        if not view.fits_server(stream_id):
+            return []
+        return [
+            uid
+            for uid in view.interested_users(stream_id)
+            if view.fits_user(uid, stream_id)
+        ]

@@ -1,0 +1,249 @@
+"""The video-distribution simulation (the paper's Fig. 1, animated).
+
+Stream sessions arrive as a Poisson process; each session proposes one
+catalog stream (drawn Zipf-by-rank among streams not currently carried)
+and lives for an exponential duration.  The bound admission policy
+decides the receiver set; while a session is active, each receiving
+user accrues ``w_u(S)`` utility per unit time.  The simulator owns
+resource accounting, hard-enforces feasibility (policy answers are
+clipped, and clips are counted as violations), and integrates metrics
+exactly via :class:`repro.sim.metrics.TimeWeightedValue`.
+
+This is the substrate for experiment E9: the same arrival trace is
+replayed under every policy (common random numbers), so differences in
+collected utility are attributable to the policies alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import MMDInstance
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine, Timeout
+from repro.sim.metrics import SimulationReport, TimeWeightedValue
+from repro.sim.policies import AdmissionPolicy, ResourceView
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class ArrivalModel:
+    """Session arrival statistics.
+
+    Attributes
+    ----------
+    rate:
+        Poisson arrival rate of session proposals (per time unit).
+    mean_duration:
+        Exponential mean session length.
+    popularity_exponent:
+        Zipf exponent over catalog rank when sampling which stream a
+        session proposes (0 = uniform).
+    """
+
+    rate: float = 1.0
+    mean_duration: float = 10.0
+    popularity_exponent: float = 1.0
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One entry of a pre-drawn arrival trace: at ``time``, stream
+    ``stream_id`` is proposed with lifetime ``duration``."""
+
+    time: float
+    stream_id: str
+    duration: float
+
+
+def draw_trace(
+    instance: MMDInstance,
+    model: ArrivalModel,
+    horizon: float,
+    seed: "int | np.random.Generator | None" = None,
+) -> "list[SessionEvent]":
+    """Pre-draw an arrival trace (for common-random-number comparisons).
+
+    Streams currently active are *not* excluded here — the trace is
+    policy-independent; the simulator skips proposals for streams it
+    already carries (a multicast system gets no new decision from a
+    second request for a carried stream).
+    """
+    rng = ensure_rng(seed)
+    ranks = np.arange(1, instance.num_streams + 1, dtype=float)
+    weights = ranks ** (-model.popularity_exponent)
+    weights /= weights.sum()
+    sids = instance.stream_ids()
+    events = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / model.rate))
+        if t > horizon:
+            break
+        idx = int(rng.choice(len(sids), p=weights))
+        duration = float(rng.exponential(model.mean_duration))
+        events.append(SessionEvent(time=t, stream_id=sids[idx], duration=duration))
+    return events
+
+
+class VideoDistributionSim:
+    """Drives one policy over one arrival trace.
+
+    Parameters
+    ----------
+    instance:
+        The static instance: catalog, users (with capacities), budgets.
+    policy:
+        The admission policy under test; ``bind`` is called here.
+    """
+
+    def __init__(self, instance: MMDInstance, policy: AdmissionPolicy) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.policy.bind(instance)
+        self.view = ResourceView(instance)
+        self.engine = Engine()
+        self._utility_rate = TimeWeightedValue()
+        self._user_rate = {u.user_id: TimeWeightedValue() for u in instance.users}
+        self._server_load = {
+            i: TimeWeightedValue()
+            for i, b in enumerate(instance.budgets)
+            if not math.isinf(b)
+        }
+        self._active_receivers: "dict[str, list[str]]" = {}
+        self.offered = 0
+        self.admitted = 0
+        self.deliveries = 0
+        self.policy_violations = 0
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _clip_to_feasible(self, stream_id: str, receivers: "list[str]") -> "list[str]":
+        """Hard feasibility guard: drop the stream on server overflow,
+        drop individual users on capacity overflow; count violations."""
+        if receivers and not self.view.fits_server(stream_id):
+            self.policy_violations += 1
+            return []
+        kept = []
+        for uid in receivers:
+            if self.instance.user(uid).utility(stream_id) <= 0:
+                self.policy_violations += 1
+                continue
+            if self.view.fits_user(uid, stream_id):
+                kept.append(uid)
+            else:
+                self.policy_violations += 1
+        return kept
+
+    def _on_arrival(self, event: SessionEvent) -> None:
+        if event.stream_id in self.view.active_streams:
+            return  # already multicast; no new decision
+        self.offered += 1
+        receivers = self.policy.on_offer(event.stream_id, self.view)
+        receivers = self._clip_to_feasible(event.stream_id, list(receivers))
+        if not receivers:
+            return
+        self.admitted += 1
+        self.deliveries += len(receivers)
+        now = self.engine.now
+        stream = self.instance.stream(event.stream_id)
+        self.view.active_streams.add(event.stream_id)
+        self._active_receivers[event.stream_id] = receivers
+        for i in range(self.instance.m):
+            self.view.server_used[i] += stream.costs[i]
+            if i in self._server_load:
+                self._server_load[i].set(
+                    now, self.view.server_used[i] / self.instance.budgets[i]
+                )
+        rate_gain = 0.0
+        for uid in receivers:
+            user = self.instance.user(uid)
+            loads = user.load_vector(event.stream_id)
+            for j in range(self.instance.mc):
+                self.view.user_used[uid][j] += loads[j]
+            rate_gain += user.utilities[event.stream_id]
+            self._user_rate[uid].add(now, user.utilities[event.stream_id])
+        self._utility_rate.add(now, rate_gain)
+        self.engine.schedule(event.duration, lambda: self._on_departure(event.stream_id))
+
+    def _on_departure(self, stream_id: str) -> None:
+        if stream_id not in self.view.active_streams:
+            raise SimulationError(f"departure of inactive stream {stream_id!r}")
+        now = self.engine.now
+        stream = self.instance.stream(stream_id)
+        receivers = self._active_receivers.pop(stream_id)
+        self.view.active_streams.discard(stream_id)
+        for i in range(self.instance.m):
+            self.view.server_used[i] -= stream.costs[i]
+            if i in self._server_load:
+                self._server_load[i].set(
+                    now, self.view.server_used[i] / self.instance.budgets[i]
+                )
+        rate_loss = 0.0
+        for uid in receivers:
+            user = self.instance.user(uid)
+            loads = user.load_vector(stream_id)
+            for j in range(self.instance.mc):
+                self.view.user_used[uid][j] -= loads[j]
+            rate_loss += user.utilities[stream_id]
+            self._user_rate[uid].add(now, -user.utilities[stream_id])
+        self._utility_rate.add(now, -rate_loss)
+        self.policy.on_release(stream_id)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_trace(self, trace: "list[SessionEvent]", horizon: float) -> SimulationReport:
+        """Replay a pre-drawn trace up to ``horizon`` and report."""
+        for event in trace:
+            if event.time > horizon:
+                continue
+            self.engine.schedule_at(event.time, lambda e=event: self._on_arrival(e))
+        self.engine.run_until(horizon)
+        report = SimulationReport(
+            policy_name=self.policy.name,
+            horizon=horizon,
+            utility_time=self._utility_rate.integral(horizon),
+            offered=self.offered,
+            admitted=self.admitted,
+            deliveries=self.deliveries,
+        )
+        for i, stat in self._server_load.items():
+            report.server_utilization[i] = stat.mean(horizon)
+            report.peak_server_utilization[i] = stat.peak
+        for uid, stat in self._user_rate.items():
+            report.per_user_utility[uid] = stat.integral(horizon)
+        return report
+
+    def run(
+        self,
+        horizon: float,
+        model: "ArrivalModel | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> SimulationReport:
+        """Draw a trace and replay it (one-policy convenience)."""
+        trace = draw_trace(self.instance, model or ArrivalModel(), horizon, seed)
+        return self.run_trace(trace, horizon)
+
+
+def compare_policies(
+    instance: MMDInstance,
+    policies: "list[AdmissionPolicy]",
+    horizon: float,
+    model: "ArrivalModel | None" = None,
+    seed: "int | np.random.Generator | None" = 0,
+) -> "list[SimulationReport]":
+    """Run every policy over the *same* arrival trace (common random
+    numbers) and return their reports, in the given policy order."""
+    trace = draw_trace(instance, model or ArrivalModel(), horizon, seed)
+    reports = []
+    for policy in policies:
+        sim = VideoDistributionSim(instance, policy)
+        reports.append(sim.run_trace(trace, horizon))
+    return reports

@@ -1,0 +1,58 @@
+"""Arrival-trace persistence: save and replay simulation traces.
+
+Saving the exact arrival trace lets experiments be replayed bit-for-bit
+later (or against new policies) without re-seeding: the trace *is* the
+workload, the policy is the variable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import ValidationError
+from repro.sim.simulation import SessionEvent
+
+
+def trace_to_json(trace: Iterable[SessionEvent]) -> str:
+    """Serialize a trace to a JSON array."""
+    return json.dumps(
+        [
+            {"time": e.time, "stream_id": e.stream_id, "duration": e.duration}
+            for e in trace
+        ]
+    )
+
+
+def trace_from_json(text: str) -> "list[SessionEvent]":
+    """Inverse of :func:`trace_to_json`; validates monotone times."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid trace JSON: {exc}") from exc
+    events = []
+    last_time = float("-inf")
+    for item in raw:
+        event = SessionEvent(
+            time=float(item["time"]),
+            stream_id=str(item["stream_id"]),
+            duration=float(item["duration"]),
+        )
+        if event.time < last_time:
+            raise ValidationError("trace times must be nondecreasing")
+        if event.duration <= 0:
+            raise ValidationError("trace durations must be positive")
+        last_time = event.time
+        events.append(event)
+    return events
+
+
+def save_trace(trace: Iterable[SessionEvent], path: "str | Path") -> None:
+    """Write a trace to disk."""
+    Path(path).write_text(trace_to_json(trace))
+
+
+def load_trace(path: "str | Path") -> "list[SessionEvent]":
+    """Read a trace from disk."""
+    return trace_from_json(Path(path).read_text())

@@ -1,0 +1,23 @@
+"""Utility helpers shared across the repro library."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.tables import Table, format_markdown_table
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Table",
+    "format_markdown_table",
+    "Timer",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+]

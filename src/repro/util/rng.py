@@ -1,0 +1,44 @@
+"""Random number generator plumbing.
+
+All stochastic code in the library accepts a ``seed`` argument that may be
+``None`` (non-deterministic), an integer, or an already constructed
+:class:`numpy.random.Generator`.  Funneling everything through
+:func:`ensure_rng` keeps experiments reproducible: every generator,
+workload, and simulation records the seed it was built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a numpy :class:`~numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged so callers can share state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so that streams are
+    statistically independent, which matters when parallel experiment
+    arms must not share randomness.
+    """
+    if count < 0:
+        raise ValueError(f"count must be nonnegative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing seeds from the parent generator.
+        return [np.random.default_rng(seed.integers(0, 2**63 - 1)) for _ in range(count)]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,91 @@
+"""ASCII / Markdown table rendering for benchmark and experiment output.
+
+The benchmark harness prints the same rows it records in
+``EXPERIMENTS.md``; this module renders them both as aligned plain-text
+tables (for terminal output) and GitHub-flavoured markdown (for the
+report file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    """Format a single table cell."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if "." in f"{value:.3f}" else f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table.
+
+    >>> t = Table(["algo", "ratio"])
+    >>> t.add_row(["greedy", 1.234])
+    >>> print(t.render())
+    algo   | ratio
+    -------+------
+    greedy | 1.234
+    """
+
+    columns: Sequence[str]
+    rows: "list[list[str]]" = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; values are formatted immediately."""
+        row = [_fmt_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> "list[int]":
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        widths = self._widths()
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def format_markdown_table(columns: Sequence[str], rows: Iterable[Iterable[Any]], title: str = "") -> str:
+    """One-shot markdown table from columns and row data."""
+    table = Table(list(columns), title=title)
+    for row in rows:
+        table.add_row(row)
+    return table.render_markdown()

@@ -1,0 +1,67 @@
+"""Wall-clock timing helpers for the runtime-scaling experiments (E3)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Use as a context manager; ``elapsed`` accumulates across entries so a
+    single timer can measure a repeated inner section.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("Timer already running")
+        self._running = True
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the time of the last lap."""
+        if not self._running:
+            raise RuntimeError("Timer not running")
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self._running = False
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._running = False
+
+
+def fit_loglog_slope(sizes: "list[float]", times: "list[float]") -> float:
+    """Least-squares slope of log(time) vs log(size).
+
+    Used by the E3 runtime experiment to check the empirical exponent of
+    the greedy algorithm against the paper's O(n^2) bound.
+    """
+    import numpy as np
+
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two (size, time) pairs")
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.asarray(times, dtype=float))
+    slope, _intercept = np.polyfit(xs, ys, 1)
+    return float(slope)

@@ -1,0 +1,56 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.exceptions.ValidationError` with uniform
+messages, which keeps the data-model constructors short and the error
+text consistent across the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import ValidationError
+
+
+def check_finite(name: str, value: float, *, allow_inf: bool = False) -> float:
+    """Validate that ``value`` is a finite real number (or +inf if allowed)."""
+    value = float(value)
+    if math.isnan(value):
+        raise ValidationError(f"{name} must not be NaN")
+    if not allow_inf and math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: float, *, allow_inf: bool = False) -> float:
+    """Validate that ``value`` is a nonnegative real number."""
+    value = check_finite(name, value, allow_inf=allow_inf)
+    if value < 0:
+        raise ValidationError(f"{name} must be nonnegative, got {value}")
+    return value
+
+
+def check_positive(name: str, value: float, *, allow_inf: bool = False) -> float:
+    """Validate that ``value`` is strictly positive."""
+    value = check_finite(name, value, allow_inf=allow_inf)
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``low <= value <= high``."""
+    value = check_finite(name, value)
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_unique(name: str, items: "list[Any]") -> None:
+    """Validate that ``items`` contains no duplicates."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ValidationError(f"duplicate {name}: {item!r}")
+        seen.add(item)

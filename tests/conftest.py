@@ -1,0 +1,98 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.instance import MMDInstance, Stream, User, unit_skew_instance
+from repro.instances.generators import (
+    random_mmd,
+    random_smd,
+    random_unit_skew_smd,
+)
+
+
+@pytest.fixture
+def tiny_instance() -> MMDInstance:
+    """Three streams, two users, single budget, §2 setting.
+
+    Hand-checkable: budget 10; costs news=4, sports=8, movies=6;
+    utilities a:{news 3, sports 9}, b:{movies 5, news 2}; caps a=10, b=6.
+    """
+    return unit_skew_instance(
+        stream_costs={"news": 4.0, "sports": 8.0, "movies": 6.0},
+        budget=10.0,
+        utilities={
+            "a": {"news": 3.0, "sports": 9.0},
+            "b": {"movies": 5.0, "news": 2.0},
+        },
+        utility_caps={"a": 10.0, "b": 6.0},
+    )
+
+
+@pytest.fixture
+def capacity_instance() -> MMDInstance:
+    """SMD with nontrivial skew: loads not proportional to utilities."""
+    streams = [
+        Stream("s1", (2.0,)),
+        Stream("s2", (3.0,)),
+        Stream("s3", (4.0,)),
+    ]
+    users = [
+        User(
+            user_id="u1",
+            utility_cap=math.inf,
+            capacities=(5.0,),
+            utilities={"s1": 4.0, "s2": 6.0, "s3": 1.0},
+            loads={"s1": (1.0,), "s2": (4.0,), "s3": (1.0,)},
+        ),
+        User(
+            user_id="u2",
+            utility_cap=math.inf,
+            capacities=(3.0,),
+            utilities={"s2": 2.0, "s3": 5.0},
+            loads={"s2": (2.0,), "s3": (2.5,)},
+        ),
+    ]
+    return MMDInstance(streams, users, (6.0,), name="capacity")
+
+
+@pytest.fixture
+def multi_budget_instance() -> MMDInstance:
+    """m=2, mc=2 instance, small enough for the exact solvers."""
+    return random_mmd(6, 3, m=2, mc=2, seed=123)
+
+
+def unit_skew_ensemble(count: int = 12, seed: int = 1000):
+    """Small unit-skew instances for ratio measurement."""
+    return [
+        random_unit_skew_smd(
+            num_streams=6 + i % 5,
+            num_users=2 + i % 4,
+            seed=seed + i,
+            budget_fraction=0.25 + 0.05 * (i % 4),
+        )
+        for i in range(count)
+    ]
+
+
+def skewed_ensemble(count: int = 8, skew: float = 8.0, seed: int = 2000):
+    """Small skewed SMD instances (infinite caps)."""
+    return [
+        random_smd(
+            num_streams=6 + i % 4,
+            num_users=2 + i % 3,
+            skew=skew,
+            seed=seed + i,
+        )
+        for i in range(count)
+    ]
+
+
+def mmd_ensemble(count: int = 6, m: int = 2, mc: int = 2, seed: int = 3000):
+    return [
+        random_mmd(5 + i % 3, 2 + i % 3, m=m, mc=mc, seed=seed + i)
+        for i in range(count)
+    ]

@@ -1,0 +1,177 @@
+"""Tests for §5: online Algorithm Allocate (Lemma 5.1, Theorem 5.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocate import (
+    OnlineAllocator,
+    allocate,
+    global_skew_parameters,
+    small_streams_condition,
+)
+from repro.core.optimal import solve_exact_milp
+from repro.exceptions import ValidationError
+from repro.instances.generators import random_mmd, small_streams_mmd
+
+
+def small_ensemble(count=6, seed=500, **kwargs):
+    return [
+        small_streams_mmd(12 + i, 3 + i % 3, seed=seed + i, **kwargs)
+        for i in range(count)
+    ]
+
+
+class TestParameters:
+    def test_mu_exceeds_feasibility_threshold(self):
+        """µ = 2γD + 2 is what Lemma 5.1 needs (µ/2 - 1 >= γD)."""
+        inst = small_streams_mmd(10, 3, seed=1)
+        gamma, mu, d = global_skew_parameters(inst)
+        assert mu / 2.0 - 1.0 >= gamma * d - 1e-9
+        assert gamma >= 1.0
+
+    def test_small_streams_condition_detects_violation(self):
+        inst = random_mmd(8, 3, m=1, mc=1, seed=7, budget_fraction=0.2)
+        # A tight random instance has streams costing a large budget share.
+        assert not small_streams_condition(inst)
+
+    def test_small_streams_condition_holds_for_generator(self):
+        for inst in small_ensemble(count=4):
+            assert small_streams_condition(inst)
+
+    def test_invalid_mu_rejected(self):
+        inst = small_streams_mmd(6, 2, seed=3)
+        with pytest.raises(ValidationError):
+            OnlineAllocator(inst, mu=1.0)
+
+
+class TestLemma51Feasibility:
+    def test_never_violates_budgets_under_precondition(self):
+        """With the hard guard OFF, the exponential costs alone must keep
+        every budget feasible when streams are small (Lemma 5.1)."""
+        for inst in small_ensemble(count=6, seed=900):
+            allocator = OnlineAllocator(inst, enforce_budgets=False)
+            for sid in inst.stream_ids():
+                allocator.offer(sid)
+            assert allocator.assignment.is_feasible(), (
+                allocator.assignment.violated_constraints()
+            )
+
+    def test_feasible_for_multi_budget_small_streams(self):
+        for i in range(3):
+            inst = small_streams_mmd(10, 3, m=2, mc=2, seed=700 + i)
+            allocator = OnlineAllocator(inst, enforce_budgets=False)
+            for sid in inst.stream_ids():
+                allocator.offer(sid)
+            assert allocator.assignment.is_feasible()
+
+    def test_hard_guard_protects_on_large_streams(self):
+        """On instances violating the precondition, the engineering guard
+        still prevents infeasibility."""
+        inst = random_mmd(10, 3, m=1, mc=1, seed=13, budget_fraction=0.3)
+        allocator = OnlineAllocator(inst, enforce_budgets=True)
+        for sid in inst.stream_ids():
+            allocator.offer(sid)
+        assert allocator.assignment.is_feasible()
+
+
+class TestTheorem54Competitiveness:
+    def test_competitive_bound_formula(self):
+        inst = small_streams_mmd(10, 3, seed=21)
+        allocator = OnlineAllocator(inst)
+        assert allocator.competitive_bound == pytest.approx(
+            1.0 + 2.0 * math.log2(allocator.mu)
+        )
+
+    def test_ratio_within_bound(self):
+        for inst in small_ensemble(count=5, seed=1100):
+            result = allocate(inst)
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            achieved = result.assignment.utility()
+            ratio = opt / max(achieved, 1e-12)
+            assert ratio <= result.competitive_bound + 1e-9, (
+                f"ratio {ratio} > bound {result.competitive_bound}"
+            )
+
+    def test_ratio_within_bound_any_order(self):
+        """Online: the bound holds for adversarial arrival orders too."""
+        inst = small_streams_mmd(14, 4, seed=33)
+        opt = solve_exact_milp(inst).utility
+        orders = [
+            inst.stream_ids(),
+            list(reversed(inst.stream_ids())),
+            sorted(inst.stream_ids(), key=lambda s: inst.total_utility(s)),
+        ]
+        for order in orders:
+            result = allocate(inst, order=order)
+            achieved = result.assignment.utility()
+            if opt == 0:
+                continue
+            assert opt / max(achieved, 1e-12) <= result.competitive_bound + 1e-9
+
+
+class TestOnlineSemantics:
+    def test_double_offer_of_accepted_stream_rejected(self):
+        inst = small_streams_mmd(8, 2, seed=41)
+        allocator = OnlineAllocator(inst)
+        sid = inst.stream_ids()[0]
+        receivers = allocator.offer(sid)
+        if receivers:
+            with pytest.raises(ValidationError, match="already active"):
+                allocator.offer(sid)
+
+    def test_decisions_never_revoked(self):
+        inst = small_streams_mmd(10, 3, seed=43)
+        allocator = OnlineAllocator(inst)
+        committed: dict[str, set[str]] = {}
+        for sid in inst.stream_ids():
+            allocator.offer(sid)
+            for prev, users in committed.items():
+                assert set(allocator.assignment.receivers_of(prev)) == users
+            committed[sid] = set(allocator.assignment.receivers_of(sid))
+
+    def test_release_returns_load(self):
+        inst = small_streams_mmd(8, 2, seed=47)
+        allocator = OnlineAllocator(inst)
+        sid = next(
+            s for s in inst.stream_ids() if allocator.offer(s)
+        )
+        loads_before = dict(allocator.normalized_loads())
+        allocator.release(sid)
+        loads_after = allocator.normalized_loads()
+        assert all(loads_after[k] <= loads_before[k] + 1e-12 for k in loads_after)
+        assert sid not in allocator.assignment.assigned_streams()
+        # Releasing an unknown stream is an error.
+        with pytest.raises(ValidationError):
+            allocator.release("nope")
+
+    def test_rejected_streams_recorded(self):
+        inst = random_mmd(8, 3, m=1, mc=1, seed=51, budget_fraction=0.15)
+        result = allocate(inst)
+        # With a tight budget, something must be rejected.
+        assert result.rejected or result.assignment.assigned_streams()
+
+
+class TestMaximality:
+    def test_selected_set_satisfies_condition(self):
+        """The chosen U_j satisfies the Line-4 inequality at decision time."""
+        inst = small_streams_mmd(10, 4, seed=61)
+        allocator = OnlineAllocator(inst, enforce_budgets=False)
+        for sid in inst.stream_ids():
+            server_charge = allocator._server_charge(sid)
+            charges = {
+                u.user_id: allocator._user_charge(u.user_id, sid)
+                for u in inst.users
+                if sid in u.utilities
+            }
+            receivers = allocator.offer(sid)
+            if receivers:
+                total_charge = server_charge + sum(charges[u] for u in receivers)
+                total_utility = sum(
+                    inst.user(u).utilities[sid] for u in receivers
+                )
+                assert total_charge <= total_utility + 1e-9

@@ -1,0 +1,112 @@
+"""Tests for the analysis harness (repro.analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, grid, run_sweep
+from repro.analysis.ratios import RatioStats, measure_ratios
+from repro.analysis.reporting import experiment_section, write_experiments_md
+from repro.core.greedy import greedy_feasible
+from tests.conftest import unit_skew_ensemble
+
+
+class TestRatioStats:
+    def test_record_and_summaries(self):
+        s = RatioStats("alg")
+        s.record(10.0, 5.0, feasible=True)
+        s.record(8.0, 8.0, feasible=True)
+        assert s.count == 2
+        assert s.worst == pytest.approx(2.0)
+        assert s.best == pytest.approx(1.0)
+        assert s.mean == pytest.approx(1.5)
+
+    def test_zero_achieved_with_positive_reference(self):
+        s = RatioStats("alg")
+        s.record(5.0, 0.0, feasible=True)
+        assert math.isinf(s.worst)
+
+    def test_zero_both_counts_as_one(self):
+        s = RatioStats("alg")
+        s.record(0.0, 0.0, feasible=True)
+        assert s.worst == 1.0
+
+    def test_infeasible_flagged_in_row(self):
+        s = RatioStats("alg")
+        s.record(2.0, 2.0, feasible=False)
+        row = s.row(bound=10.0)
+        assert row[-1] == "NO"
+
+    def test_row_ok(self):
+        s = RatioStats("alg")
+        s.record(2.0, 2.0, feasible=True)
+        assert s.row(bound=1.5)[-1] == "yes"
+
+
+class TestMeasureRatios:
+    def test_against_milp(self):
+        instances = unit_skew_ensemble(count=3, seed=811)
+        stats = measure_ratios(
+            {"greedy_feasible": greedy_feasible}, instances, reference="milp"
+        )
+        s = stats["greedy_feasible"]
+        assert s.count == 3
+        assert s.worst >= 1.0 - 1e-9
+        assert s.infeasible_count == 0
+
+    def test_lp_reference_overestimates(self):
+        instances = unit_skew_ensemble(count=2, seed=821)
+        milp = measure_ratios({"g": greedy_feasible}, instances, reference="milp")
+        lp = measure_ratios({"g": greedy_feasible}, instances, reference="lp")
+        assert lp["g"].worst >= milp["g"].worst - 1e-9
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(ValueError):
+            measure_ratios({}, [], reference="oracle")
+
+
+class TestSweep:
+    def test_grid_cartesian(self):
+        points = grid(a=[1, 2], b=["x", "y"])
+        assert len(points) == 4
+        assert {(p["a"], p["b"]) for p in points} == {
+            (1, "x"), (1, "y"), (2, "x"), (2, "y")
+        }
+
+    def test_run_sweep_preserves_order(self):
+        results = run_sweep(
+            lambda a: {"double": 2 * a}, [{"a": 1}, {"a": 5}, {"a": 3}]
+        )
+        assert [r.metrics["double"] for r in results] == [2, 10, 6]
+
+    def test_result_row(self):
+        r = ExperimentResult(params={"m": 2}, metrics={"ratio": 1.5})
+        assert r.row(["m"], ["ratio"]) == [2, 1.5]
+
+
+class TestReporting:
+    def test_section_contains_table(self):
+        section = experiment_section(
+            "E1",
+            "Greedy",
+            "ratio <= 4.75",
+            ["alg", "ratio"],
+            [["greedy", 1.3]],
+        )
+        assert "## E1 — Greedy" in section
+        assert "| alg | ratio |" in section
+        assert "| greedy | 1.3 |" in section
+
+    def test_staging_and_assembly(self, tmp_path, monkeypatch):
+        staging = tmp_path / "staging"
+        monkeypatch.setenv("REPRO_EXPERIMENTS_DIR", str(staging))
+        experiment_section("E2", "Second", "claim B", ["x"], [[1]])
+        experiment_section("E1", "First", "claim A", ["x"], [[2]])
+        output = tmp_path / "EXPERIMENTS.md"
+        document = write_experiments_md(str(staging), str(output), "# Header")
+        assert output.exists()
+        # Sections ordered by experiment id, not creation time.
+        assert document.index("## E1") < document.index("## E2")
+        assert document.startswith("# Header")

@@ -1,0 +1,69 @@
+"""Tests for terminal plotting (repro.analysis.ascii_plot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart(["a"], [3.0], unit="ms")
+
+
+class TestLinePlot:
+    def test_contains_points(self):
+        plot = line_plot([0, 1, 2], [0, 1, 4], width=20, height=6)
+        assert plot.count("*") >= 2  # distinct rows/cols for distinct points
+
+    def test_axis_labels(self):
+        plot = line_plot([0, 1], [0, 1], x_label="n", y_label="t")
+        assert "x: n" in plot and "y: t" in plot
+
+    def test_extremes_annotated(self):
+        plot = line_plot([0, 10], [3.0, 7.0])
+        assert "7" in plot and "3" in plot
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1, 2])
+
+    def test_empty(self):
+        assert line_plot([], []) == "(no data)"
+
+    def test_constant_series(self):
+        # Degenerate span must not divide by zero.
+        plot = line_plot([1, 2, 3], [5.0, 5.0, 5.0])
+        assert "*" in plot
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert len(sparkline([2.0, 2.0])) == 2

@@ -1,0 +1,186 @@
+"""Tests for assignments (repro.core.assignment)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import Assignment, best_assignment, saturating_assignment
+from repro.core.instance import MMDInstance, Stream, User
+from repro.exceptions import ValidationError
+
+
+class TestBasics:
+    def test_empty_assignment(self, tiny_instance):
+        a = Assignment(tiny_instance)
+        assert a.is_empty()
+        assert a.utility() == 0.0
+        assert a.assigned_streams() == set()
+        assert a.is_feasible()
+
+    def test_add_and_views(self, tiny_instance):
+        a = Assignment(tiny_instance)
+        a.add("a", "news")
+        a.add("b", "news")
+        a.add("b", "movies")
+        assert a.streams_of("a") == frozenset({"news"})
+        assert a.assigned_streams() == {"news", "movies"}
+        assert set(a.receivers_of("news")) == {"a", "b"}
+        assert not a.is_empty()
+
+    def test_add_unknown_rejected(self, tiny_instance):
+        a = Assignment(tiny_instance)
+        with pytest.raises(ValidationError):
+            a.add("ghost", "news")
+        with pytest.raises(ValidationError):
+            a.add("a", "ghost")
+
+    def test_constructor_mapping(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news", "sports"], "b": ["news"]})
+        assert a.streams_of("a") == frozenset({"news", "sports"})
+        assert a.as_dict() == {"a": {"news", "sports"}, "b": {"news"}}
+
+    def test_discard(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news"]})
+        a.discard("a", "news")
+        a.discard("a", "never-there")
+        assert a.is_empty()
+
+    def test_add_stream_to_all_only_interested(self, tiny_instance):
+        a = Assignment(tiny_instance)
+        receivers = a.add_stream_to_all("movies")
+        assert receivers == ["b"]
+
+
+class TestCostsAndLoads:
+    def test_server_cost_counts_range_once(self, tiny_instance):
+        # Multicast: news to both users costs 4 once, not twice.
+        a = Assignment(tiny_instance, {"a": ["news"], "b": ["news"]})
+        assert a.server_cost() == 4.0
+        assert a.server_costs() == (4.0,)
+
+    def test_user_loads(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news", "sports"]})
+        assert a.user_load("a") == 12.0  # unit skew: loads = utilities
+        assert a.user_loads("b") == (0.0,)
+
+    def test_multi_measure_costs(self, multi_budget_instance):
+        a = Assignment(multi_budget_instance)
+        sid = multi_budget_instance.stream_ids()[0]
+        uid = multi_budget_instance.user_ids()[0]
+        if sid in multi_budget_instance.user(uid).utilities:
+            a.add(uid, sid)
+            costs = a.server_costs()
+            assert len(costs) == 2
+            assert costs == multi_budget_instance.stream(sid).costs
+
+
+class TestUtility:
+    def test_capped_utility(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news", "sports"], "b": ["news", "movies"]})
+        # a raw = 12 capped at 10; b raw = 7 capped at 6.
+        assert a.raw_user_utility("a") == 12.0
+        assert a.user_utility("a") == 10.0
+        assert a.user_utility("b") == 6.0
+        assert a.utility() == 16.0
+
+    def test_residual_utility(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["sports"]})
+        # a's headroom is 10-9=1, so news adds min(3, 1) = 1 to a, 2 to b.
+        assert a.residual_utility("a", "news") == 1.0
+        assert a.residual_utility("b", "news") == 2.0
+        assert a.fractional_residual_utility("news") == 3.0
+
+    def test_residual_zero_for_assigned_stream(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news"]})
+        assert a.residual_utility("a", "news") == 0.0
+        # Stream in the range has zero fractional residual overall.
+        assert a.fractional_residual_utility("news") == 0.0
+
+    def test_residual_zero_when_saturated(self, tiny_instance):
+        a = Assignment(tiny_instance, {"b": ["movies", "news"]})
+        # b raw = 7 > cap 6: saturated; any further stream adds nothing.
+        assert a.residual_utility("b", "sports") == 0.0
+
+
+class TestFeasibility:
+    def test_server_infeasible(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news", "sports"]})
+        # cost = 12 > B = 10
+        assert not a.is_server_feasible()
+        assert not a.is_feasible()
+        assert a.violated_constraints()
+
+    def test_user_infeasible(self, tiny_instance):
+        a = Assignment(tiny_instance, {"b": ["movies", "news"]})
+        # b load 7 > cap 6 (unit skew), server 10 <= 10
+        assert a.is_server_feasible()
+        assert a.is_semi_feasible()
+        assert not a.is_user_feasible()
+        problems = a.violated_constraints()
+        assert any("user b" in p for p in problems)
+
+    def test_feasible(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news"], "b": ["news"]})
+        assert a.is_feasible()
+        assert a.violated_constraints() == []
+
+    def test_infinite_budgets_always_feasible(self):
+        streams = [Stream("s", (100.0,))]
+        users = [User("u", math.inf, (math.inf,), utilities={"s": 1.0}, loads={"s": (50.0,)})]
+        inst = MMDInstance(streams, users, (math.inf,))
+        a = Assignment(inst, {"u": ["s"]})
+        assert a.is_feasible()
+
+
+class TestTransforms:
+    def test_restrict(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news", "sports"], "b": ["news"]})
+        r = a.restrict(["news"])
+        assert r.streams_of("a") == frozenset({"news"})
+        assert r.assigned_streams() == {"news"}
+
+    def test_union(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news"]})
+        b = Assignment(tiny_instance, {"a": ["sports"], "b": ["movies"]})
+        u = a.union(b)
+        assert u.streams_of("a") == frozenset({"news", "sports"})
+        assert u.streams_of("b") == frozenset({"movies"})
+
+    def test_union_requires_same_instance(self, tiny_instance, capacity_instance):
+        a = Assignment(tiny_instance)
+        b = Assignment(capacity_instance)
+        with pytest.raises(ValidationError):
+            a.union(b)
+
+    def test_copy_is_independent(self, tiny_instance):
+        a = Assignment(tiny_instance, {"a": ["news"]})
+        c = a.copy()
+        c.add("a", "sports")
+        assert a.streams_of("a") == frozenset({"news"})
+
+    def test_on_instance_remaps(self, tiny_instance):
+        clone = MMDInstance.from_dict(tiny_instance.to_dict())
+        a = Assignment(tiny_instance, {"a": ["news"]})
+        b = a.on_instance(clone)
+        assert b.instance is clone
+        assert b.streams_of("a") == frozenset({"news"})
+
+
+class TestHelpers:
+    def test_best_assignment(self, tiny_instance):
+        low = Assignment(tiny_instance, {"b": ["news"]})
+        high = Assignment(tiny_instance, {"a": ["sports"]})
+        assert best_assignment([low, high]) is high
+
+    def test_best_assignment_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            best_assignment([])
+
+    def test_saturating_assignment_matches_coverage(self, tiny_instance):
+        from repro.core.utility import CoverageUtility
+
+        a = saturating_assignment(tiny_instance, ["news", "sports", "movies"])
+        w = CoverageUtility(tiny_instance)
+        assert a.utility() == pytest.approx(w.value(["news", "sports", "movies"]))

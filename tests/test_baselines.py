@@ -1,0 +1,120 @@
+"""Tests for the utility-blind baselines (repro.core.baselines)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    density_greedy,
+    random_admission,
+    threshold_admission,
+    utility_greedy,
+)
+from repro.core.instance import MMDInstance, Stream, User, unit_skew_instance
+from repro.core.optimal import solve_exact_milp
+from repro.exceptions import ValidationError
+from tests.conftest import mmd_ensemble, unit_skew_ensemble
+
+
+ALL_BASELINES = [
+    ("threshold", lambda inst: threshold_admission(inst)),
+    ("utility", lambda inst: utility_greedy(inst)),
+    ("density", lambda inst: density_greedy(inst)),
+    ("random", lambda inst: random_admission(inst, seed=7)),
+]
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("name,baseline", ALL_BASELINES)
+    def test_always_feasible_smd(self, name, baseline):
+        for inst in unit_skew_ensemble(count=6, seed=601):
+            a = baseline(inst)
+            assert a.is_feasible(), f"{name}: {a.violated_constraints()}"
+
+    @pytest.mark.parametrize("name,baseline", ALL_BASELINES)
+    def test_always_feasible_mmd(self, name, baseline):
+        for inst in mmd_ensemble(count=4, m=2, mc=2, seed=611):
+            a = baseline(inst)
+            assert a.is_feasible(), f"{name}: {a.violated_constraints()}"
+
+
+class TestThreshold:
+    def test_margin_validated(self, tiny_instance):
+        with pytest.raises(ValidationError):
+            threshold_admission(tiny_instance, margin=0.0)
+        with pytest.raises(ValidationError):
+            threshold_admission(tiny_instance, margin=1.5)
+
+    def test_margin_limits_usage(self, tiny_instance):
+        a = threshold_admission(tiny_instance, margin=0.5)
+        assert a.server_cost() <= 0.5 * tiny_instance.budgets[0] + 1e-9
+
+    def test_order_dependence(self, tiny_instance):
+        # FCFS: offering sports first blocks news+movies and vice versa.
+        first = threshold_admission(tiny_instance, order=["sports", "news", "movies"])
+        second = threshold_admission(tiny_instance, order=["news", "movies", "sports"])
+        assert first.assigned_streams() != second.assigned_streams()
+
+    def test_utility_blindness(self):
+        """The paper's motivating gap: threshold admits a worthless early
+        stream and blocks the valuable late one."""
+        inst = unit_skew_instance(
+            {"junk": 9.0, "gem": 9.0},
+            budget=10.0,
+            utilities={"u": {"junk": 1.0, "gem": 100.0}},
+            utility_caps={"u": 200.0},
+        )
+        blind = threshold_admission(inst, order=["junk", "gem"])
+        assert blind.utility() == 1.0
+        opt = solve_exact_milp(inst).utility
+        assert opt == 100.0  # gap of 100x for the deployed policy
+
+    def test_saturated_users_skipped(self):
+        inst = unit_skew_instance(
+            {"s1": 1.0, "s2": 1.0},
+            budget=5.0,
+            utilities={"u": {"s1": 5.0, "s2": 4.0}},
+            utility_caps={"u": 5.0},
+        )
+        a = threshold_admission(inst, order=["s1", "s2"])
+        # s1 saturates u; s2 has no eligible receivers and is not carried.
+        assert a.assigned_streams() == {"s1"}
+
+
+class TestUtilityGreedy:
+    def test_prefers_high_utility(self, tiny_instance):
+        a = utility_greedy(tiny_instance)
+        assert "sports" in a.assigned_streams()  # w=9 is the largest
+
+
+class TestDensityGreedy:
+    def test_prefers_high_density(self, tiny_instance):
+        a = density_greedy(tiny_instance)
+        # densities (normalized): news 5/0.4, sports 9/0.8, movies 5/0.6
+        assert "news" in a.assigned_streams()
+
+    def test_handles_infinite_budget_measures(self):
+        streams = [Stream("s", (1.0, 5.0))]
+        users = [
+            User("u", math.inf, (math.inf,), utilities={"s": 2.0}, loads={"s": (0.0,)})
+        ]
+        inst = MMDInstance(streams, users, (2.0, math.inf))
+        a = density_greedy(inst)
+        assert a.assigned_streams() == {"s"}
+
+
+class TestRandomAdmission:
+    def test_deterministic_given_seed(self, tiny_instance):
+        a = random_admission(tiny_instance, seed=3)
+        b = random_admission(tiny_instance, seed=3)
+        assert a.as_dict() == b.as_dict()
+
+    def test_varies_across_seeds(self):
+        inst = unit_skew_ensemble(count=1, seed=990)[0]
+        results = {
+            frozenset(random_admission(inst, seed=s).assigned_streams())
+            for s in range(8)
+        }
+        assert len(results) > 1

@@ -1,0 +1,131 @@
+"""Tests for the catalog and population substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.instances.catalog import TIER_BITRATES, CatalogConfig, build_catalog
+from repro.instances.population import (
+    PopulationConfig,
+    aggregate_gateway,
+    build_population,
+)
+
+
+class TestCatalog:
+    def test_default_measures(self):
+        catalog = build_catalog(20, seed=1)
+        assert all(len(s.costs) == 3 for s in catalog)
+        # ports measure is always 1 per channel
+        assert all(s.costs[2] == 1.0 for s in catalog)
+
+    def test_measure_subset(self):
+        catalog = build_catalog(10, seed=2, measures=("egress",))
+        assert all(len(s.costs) == 1 for s in catalog)
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValidationError):
+            build_catalog(5, seed=1, measures=("warp-drive",))
+
+    def test_bitrates_match_tiers(self):
+        catalog = build_catalog(40, seed=3)
+        for s in catalog:
+            tier = s.attrs["tier"]
+            assert s.costs[0] == TIER_BITRATES[tier]
+            assert s.attrs["bitrate"] == TIER_BITRATES[tier]
+
+    def test_legacy_codec_doubles_processing(self):
+        catalog = build_catalog(60, seed=4)
+        for s in catalog:
+            factor = 2.0 if s.attrs["legacy_codec"] else 1.0
+            assert s.costs[1] == pytest.approx(s.costs[0] * factor)
+
+    def test_tier_mix_respected(self):
+        cfg = CatalogConfig(tier_mix={"sd": 1.0})
+        catalog = build_catalog(20, seed=5, config=cfg)
+        assert all(s.attrs["tier"] == "sd" for s in catalog)
+
+    def test_ranks_are_sequential(self):
+        catalog = build_catalog(10, seed=6)
+        assert [s.attrs["rank"] for s in catalog] == list(range(10))
+
+    def test_deterministic(self):
+        a = build_catalog(15, seed=7)
+        b = build_catalog(15, seed=7)
+        assert [s.stream_id for s in a] == [s.stream_id for s in b]
+        assert [s.costs for s in a] == [s.costs for s in b]
+
+
+class TestPopulation:
+    def test_loads_are_bitrates(self):
+        catalog = build_catalog(15, seed=8)
+        users = build_population(5, catalog, seed=9)
+        by_id = {s.stream_id: s for s in catalog}
+        for u in users:
+            for sid, vec in u.loads.items():
+                assert vec[0] == by_id[sid].attrs["bitrate"]
+
+    def test_no_stream_exceeds_downlink(self):
+        catalog = build_catalog(15, seed=10)
+        users = build_population(
+            8, catalog, seed=11, config=PopulationConfig(downlink_range=(3.0, 9.0))
+        )
+        for u in users:
+            for vec in u.loads.values():
+                assert vec[0] <= u.capacities[0] + 1e-9
+
+    def test_zipf_popularity_decays(self):
+        """Averaged over users, low ranks should get more utility."""
+        catalog = build_catalog(20, seed=12)
+        users = build_population(
+            60,
+            catalog,
+            seed=13,
+            config=PopulationConfig(zipf_exponent=1.2, genre_affinity=1.0),
+        )
+        front = sum(u.utility(catalog[0].stream_id) for u in users)
+        back = sum(u.utility(catalog[-1].stream_id) for u in users)
+        assert front > back
+
+    def test_every_user_wants_something(self):
+        catalog = build_catalog(10, seed=14)
+        users = build_population(
+            10, catalog, seed=15, config=PopulationConfig(interest_probability=0.01)
+        )
+        for u in users:
+            assert u.utilities
+
+    def test_finite_caps_when_configured(self):
+        catalog = build_catalog(10, seed=16)
+        users = build_population(
+            4, catalog, seed=17, config=PopulationConfig(utility_cap_fraction=0.5)
+        )
+        assert all(not math.isinf(u.utility_cap) for u in users)
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValidationError):
+            build_population(3, [], seed=1)
+
+
+class TestGatewayAggregation:
+    def test_utilities_sum(self):
+        catalog = build_catalog(12, seed=18)
+        homes = build_population(6, catalog, seed=19)
+        gw = aggregate_gateway(homes, "gw0", uplink=1e6)
+        for sid in gw.utilities:
+            expected = sum(h.utility(sid) for h in homes)
+            assert gw.utilities[sid] == pytest.approx(expected)
+
+    def test_uplink_filters_streams(self):
+        catalog = build_catalog(12, seed=20)
+        homes = build_population(4, catalog, seed=21)
+        gw = aggregate_gateway(homes, "gw0", uplink=3.0)  # only SD fits
+        for sid in gw.utilities:
+            assert gw.loads[sid][0] <= 3.0
+
+    def test_empty_households_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_gateway([], "gw0", uplink=10.0)

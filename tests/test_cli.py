@@ -1,0 +1,176 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.instance import MMDInstance
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "inst.json"
+    code = main(
+        [
+            "generate",
+            "--family", "unit-skew-smd",
+            "--streams", "8",
+            "--users", "4",
+            "--seed", "3",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_emits_valid_instance(self, instance_file):
+        inst = MMDInstance.from_json(instance_file.read_text())
+        assert inst.num_streams == 8
+        assert inst.num_users == 4
+
+    def test_stdout_default(self, capsys):
+        assert main(["generate", "--streams", "3", "--users", "2"]) == 0
+        out = capsys.readouterr().out
+        inst = MMDInstance.from_json(out)
+        assert inst.num_streams == 3
+
+    def test_all_families(self, capsys):
+        for family in (
+            "unit-skew-smd", "smd", "mmd", "small-streams", "tightness",
+            "iptv",
+        ):
+            assert main(
+                ["generate", "--family", family, "--streams", "6",
+                 "--users", "3", "--m", "2", "--mc", "2"]
+            ) == 0
+            MMDInstance.from_json(capsys.readouterr().out)
+
+
+class TestInfo:
+    def test_prints_parameters(self, instance_file, capsys):
+        assert main(["info", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "local skew" in out
+        assert "Theorem 1.1 bound" in out
+
+
+class TestSolve:
+    def test_basic(self, instance_file, capsys):
+        assert main(["solve", str(instance_file)]) == 0
+        out = capsys.readouterr().out
+        assert "utility" in out
+        assert "feasible" in out
+
+    def test_exact_comparison(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--exact"]) == 0
+        out = capsys.readouterr().out
+        assert "exact optimum" in out
+        assert "measured ratio" in out
+
+    def test_bound_comparison(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--bound"]) == 0
+        assert "LP upper bound" in capsys.readouterr().out
+
+    def test_assignment_output(self, instance_file, tmp_path, capsys):
+        out_path = tmp_path / "solution.json"
+        assert main(["solve", str(instance_file), "-o", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert "assignment" in payload
+        assert payload["utility"] > 0
+
+
+class TestValidate:
+    def test_valid_instance_ok(self, instance_file, capsys):
+        assert main(["validate", str(instance_file)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_invalid_instance_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        # A user whose single stream load exceeds his capacity.
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "bad",
+                    "budgets": [10.0],
+                    "streams": [
+                        {"stream_id": "s", "costs": [1.0], "name": "", "attrs": {}}
+                    ],
+                    "users": [
+                        {
+                            "user_id": "u",
+                            "utility_cap": "inf",
+                            "capacities": [1.0],
+                            "utilities": {"s": 5.0},
+                            "loads": {"s": [3.0]},
+                            "attrs": {},
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_sanitize_repairs(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "bad",
+                    "budgets": [10.0],
+                    "streams": [
+                        {"stream_id": "s", "costs": [1.0], "name": "", "attrs": {}}
+                    ],
+                    "users": [
+                        {
+                            "user_id": "u",
+                            "utility_cap": "inf",
+                            "capacities": [1.0],
+                            "utilities": {"s": 5.0},
+                            "loads": {"s": [3.0]},
+                            "attrs": {},
+                        }
+                    ],
+                }
+            )
+        )
+        out_path = tmp_path / "fixed.json"
+        assert main(["validate", str(path), "--sanitize", "-o", str(out_path)]) == 0
+        fixed = MMDInstance.from_json(out_path.read_text())
+        assert fixed.user("u").utility("s") == 0.0
+
+    def test_garbage_unrepairable(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text('{"nope": 1}')
+        assert main(["validate", str(path), "--sanitize"]) == 1
+        assert "unrepairable" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_runs_policies(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload", "iptv",
+                "--policies", "threshold", "allocate",
+                "--horizon", "50",
+                "--rate", "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        assert "allocate" in out
+        assert "fairness" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        code = main(
+            ["simulate", "--policies", "warp", "--horizon", "10"]
+        )
+        assert code == 2
+        assert "unknown policies" in capsys.readouterr().err

@@ -1,0 +1,31 @@
+"""Run the library's docstring examples as tests."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.ascii_plot
+import repro.core.reduction
+import repro.core.utility
+import repro.sim.engine
+import repro.sim.metrics
+import repro.util.tables
+import repro.util.timing
+
+MODULES = [
+    repro.analysis.ascii_plot,
+    repro.core.reduction,
+    repro.core.utility,
+    repro.sim.engine,
+    repro.sim.metrics,
+    repro.util.tables,
+    repro.util.timing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

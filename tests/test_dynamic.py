@@ -1,0 +1,111 @@
+"""Tests for the finite-duration Allocate extension (repro.core.dynamic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import TimedAllocator, TimedGrant
+from repro.exceptions import ValidationError
+from repro.instances.generators import small_streams_mmd
+
+
+@pytest.fixture
+def instance():
+    return small_streams_mmd(num_streams=12, num_users=4, seed=77)
+
+
+class TestSlots:
+    def test_slot_indexing(self, instance):
+        alloc = TimedAllocator(instance, horizon=10.0, slot_length=1.0)
+        assert list(alloc.slots_of(0.0, 1.0)) == [0]
+        assert list(alloc.slots_of(0.5, 1.0)) == [0, 1]
+        assert list(alloc.slots_of(2.0, 3.0)) == [2, 3, 4]
+
+    def test_zero_or_negative_duration_rejected(self, instance):
+        alloc = TimedAllocator(instance, horizon=10.0)
+        with pytest.raises(ValidationError):
+            alloc.slots_of(0.0, 0.0)
+        with pytest.raises(ValidationError):
+            alloc.slots_of(-1.0, 2.0)
+
+    def test_beyond_horizon_rejected(self, instance):
+        alloc = TimedAllocator(instance, horizon=10.0)
+        with pytest.raises(ValidationError, match="horizon"):
+            alloc.slots_of(8.0, 5.0)
+
+    def test_parameters_validated(self, instance):
+        with pytest.raises(ValidationError):
+            TimedAllocator(instance, horizon=0.0)
+        with pytest.raises(ValidationError):
+            TimedAllocator(instance, horizon=10.0, slot_length=0.0)
+        with pytest.raises(ValidationError):
+            TimedAllocator(instance, horizon=10.0, mu=1.0)
+
+
+class TestAdmission:
+    def test_grants_recorded(self, instance):
+        alloc = TimedAllocator(instance, horizon=20.0)
+        receivers = alloc.offer(instance.stream_ids()[0], start=0.0, duration=5.0)
+        if receivers:
+            assert isinstance(alloc.grants[0], TimedGrant)
+            assert alloc.grants[0].receivers == tuple(receivers)
+
+    def test_same_stream_different_times(self, instance):
+        """Unlike the static allocator, the same stream can be granted in
+        disjoint time windows."""
+        alloc = TimedAllocator(instance, horizon=40.0)
+        sid = instance.stream_ids()[0]
+        first = alloc.offer(sid, start=0.0, duration=5.0)
+        second = alloc.offer(sid, start=20.0, duration=5.0)
+        if first and second:
+            assert len(alloc.grants) == 2
+
+    def test_feasibility_with_guard_off(self, instance):
+        """Lemma 5.1 per slot: small streams never overload any slot."""
+        alloc = TimedAllocator(instance, horizon=30.0, enforce_budgets=False)
+        starts = [0.0, 2.0, 4.0, 5.0, 7.5, 10.0, 12.0, 15.0, 18.0, 20.0, 22.0, 25.0]
+        for sid, start in zip(instance.stream_ids(), starts):
+            alloc.offer(sid, start=start, duration=4.0)
+        assert alloc.is_feasible()
+        assert alloc.peak_load() <= 1.0 + 1e-9
+
+    def test_disjoint_sessions_do_not_interact(self, instance):
+        """A session in [0,5) must not consume capacity in [10,15)."""
+        alloc = TimedAllocator(instance, horizon=30.0)
+        sid_a, sid_b = instance.stream_ids()[:2]
+        alloc.offer(sid_a, start=0.0, duration=5.0)
+        before = alloc.peak_load()
+        # Offering in a disjoint window starts from zero load there.
+        alloc.offer(sid_b, start=10.0, duration=5.0)
+        slots_b = alloc.slots_of(10.0, 5.0)
+        for t in slots_b:
+            for i in alloc._server_measures:
+                load = alloc._server_load.get((i, t), 0.0)
+                # Only sid_b's own cost can be present in its window.
+                stream_b = instance.stream(sid_b)
+                assert load <= stream_b.costs[i] / instance.budgets[i] + 1e-12
+        assert alloc.peak_load() >= before - 1e-12
+
+    def test_utility_time_accounting(self, instance):
+        alloc = TimedAllocator(instance, horizon=20.0)
+        sid = instance.stream_ids()[0]
+        receivers = alloc.offer(sid, start=0.0, duration=8.0)
+        expected = 8.0 * sum(
+            instance.user(uid).utilities[sid] for uid in receivers
+        )
+        assert alloc.total_utility_time() == pytest.approx(expected)
+
+    def test_competitive_bound_positive(self, instance):
+        alloc = TimedAllocator(instance, horizon=20.0)
+        assert alloc.competitive_bound > 1.0
+
+    def test_hard_guard_on_oversized_demand(self):
+        """With long overlapping sessions on a tight instance, the guard
+        keeps every slot feasible."""
+        from repro.instances.generators import random_mmd
+
+        inst = random_mmd(10, 3, m=1, mc=1, seed=31, budget_fraction=0.25)
+        alloc = TimedAllocator(inst, horizon=10.0, enforce_budgets=True)
+        for sid in inst.stream_ids():
+            alloc.offer(sid, start=0.0, duration=10.0)
+        assert alloc.is_feasible()

@@ -1,0 +1,70 @@
+"""Degenerate-shape edge cases across the whole pipeline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocate import allocate
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.solver import solve_mmd, solve_smd
+from repro.instances.generators import random_mmd
+
+
+class TestDegenerateShapes:
+    def test_mc_zero_through_solve_smd(self):
+        inst = random_mmd(5, 3, m=1, mc=0, seed=1)
+        result = solve_smd(inst)
+        assert result.assignment.is_feasible()
+        assert result.utility > 0
+
+    def test_empty_instance_everywhere(self):
+        empty = MMDInstance([], [], (1.0,))
+        assert solve_mmd(empty).utility == 0.0
+        assert allocate(empty).assignment.utility() == 0.0
+
+    def test_streams_without_users(self):
+        inst = MMDInstance([Stream("s", (1.0,))], [], (2.0,))
+        assert solve_mmd(inst).utility == 0.0
+
+    def test_users_without_streams(self):
+        inst = MMDInstance([], [User("u", 5.0, (1.0,))], (2.0,))
+        assert solve_mmd(inst).utility == 0.0
+
+    def test_all_infinite_budgets(self):
+        streams = [Stream("s", (5.0,))]
+        users = [
+            User("u", math.inf, (math.inf,), utilities={"s": 2.0}, loads={"s": (1.0,)})
+        ]
+        inst = MMDInstance(streams, users, (math.inf,))
+        result = solve_mmd(inst)
+        assert result.utility == pytest.approx(2.0)
+        assert allocate(inst).assignment.utility() == pytest.approx(2.0)
+
+    def test_single_stream_single_user(self):
+        streams = [Stream("s", (1.0,))]
+        users = [User("u", 5.0, (3.0,), utilities={"s": 4.0}, loads={"s": (3.0,)})]
+        inst = MMDInstance(streams, users, (1.0,))
+        result = solve_mmd(inst)
+        assert result.utility == pytest.approx(4.0)
+        assert result.assignment.is_feasible()
+
+    def test_user_wanting_nothing(self):
+        streams = [Stream("s", (1.0,))]
+        users = [
+            User("rich", math.inf, (math.inf,), utilities={"s": 2.0}, loads={"s": (0.0,)}),
+            User("uninterested", math.inf, (math.inf,)),
+        ]
+        inst = MMDInstance(streams, users, (2.0,))
+        result = solve_mmd(inst)
+        assert result.assignment.streams_of("uninterested") == frozenset()
+        assert result.utility == pytest.approx(2.0)
+
+    def test_zero_utility_cap_user(self):
+        streams = [Stream("s", (1.0,))]
+        users = [User("u", 0.0, (math.inf,), utilities={"s": 2.0}, loads={"s": (0.0,)})]
+        inst = MMDInstance(streams, users, (2.0,))
+        result = solve_mmd(inst)
+        # Nothing to gain from a zero-cap user.
+        assert result.utility == 0.0

@@ -1,0 +1,82 @@
+"""Tests for §2.3's partial-enumeration algorithms (Theorems 2.9/2.10)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.enumeration import (
+    partial_enumeration,
+    partial_enumeration_feasible,
+)
+from repro.core.greedy import SEMI_FEASIBLE_FACTOR, greedy
+from repro.core.instance import unit_skew_instance
+from repro.core.optimal import solve_exact_milp
+from tests.conftest import unit_skew_ensemble
+
+E = math.e
+E_FACTOR = E / (E - 1)
+
+
+class TestMechanics:
+    def test_depth_must_be_positive(self, tiny_instance):
+        with pytest.raises(ValueError):
+            partial_enumeration(tiny_instance, depth=0)
+
+    def test_at_least_as_good_as_greedy(self):
+        for inst in unit_skew_ensemble(count=8, seed=91):
+            plain = greedy(inst).assignment.utility()
+            enum = partial_enumeration(inst, depth=2).assignment.utility()
+            assert enum >= plain - 1e-9
+
+    def test_semi_feasible(self, tiny_instance):
+        trace = partial_enumeration(tiny_instance, depth=2)
+        assert trace.assignment.is_server_feasible()
+
+    def test_feasible_variant_is_feasible(self):
+        for inst in unit_skew_ensemble(count=8, seed=95):
+            a = partial_enumeration_feasible(inst, depth=2)
+            assert a.is_feasible(), a.violated_constraints()
+
+    def test_enumeration_fixes_blocking_instance(self):
+        # The §2.2 adversarial instance is solved exactly with depth >= 1:
+        # the seed {huge} is enumerated directly.
+        inst = unit_skew_instance(
+            {"tiny": 1.0, "huge": 100.0},
+            budget=100.0,
+            utilities={"u": {"tiny": 2.0, "huge": 150.0}},
+            utility_caps={"u": 1000.0},
+        )
+        trace = partial_enumeration(inst, depth=1)
+        assert trace.assignment.utility() == 150.0
+
+
+class TestTheorem29Bound:
+    """Semi-feasible utility >= (1 - 1/e) OPT with depth 3."""
+
+    def test_bound_on_small_ensemble(self):
+        # depth=3 over small instances (|S| <= 8) stays fast.
+        for inst in unit_skew_ensemble(count=6, seed=101):
+            if inst.num_streams > 8:
+                continue
+            opt = solve_exact_milp(inst).utility
+            value = partial_enumeration(inst, depth=3).assignment.utility()
+            if opt == 0:
+                continue
+            assert value >= opt / E_FACTOR - 1e-9
+
+
+class TestTheorem210Bound:
+    """Feasible variant is a 2e/(e-1)-approximation."""
+
+    def test_bound_on_small_ensemble(self):
+        for inst in unit_skew_ensemble(count=6, seed=103):
+            if inst.num_streams > 8:
+                continue
+            opt = solve_exact_milp(inst).utility
+            a = partial_enumeration_feasible(inst, depth=3)
+            assert a.is_feasible()
+            if opt == 0:
+                continue
+            assert a.utility() >= opt / SEMI_FEASIBLE_FACTOR - 1e-9

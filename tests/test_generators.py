@@ -1,0 +1,196 @@
+"""Tests for the instance generators (repro.instances.generators)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocate import small_streams_condition
+from repro.exceptions import ValidationError
+from repro.instances.generators import (
+    group_budget_instance,
+    knapsack_instance,
+    max_coverage_instance,
+    random_mmd,
+    random_smd,
+    random_unit_skew_smd,
+    small_streams_mmd,
+    tightness_instance,
+)
+
+
+class TestRandomUnitSkew:
+    def test_shape_and_setting(self):
+        inst = random_unit_skew_smd(10, 5, seed=1)
+        assert inst.num_streams == 10
+        assert inst.num_users == 5
+        assert inst.m == 1
+        assert inst.is_unit_skew()
+        assert inst.local_skew() == 1.0
+
+    def test_deterministic_given_seed(self):
+        a = random_unit_skew_smd(8, 4, seed=9)
+        b = random_unit_skew_smd(8, 4, seed=9)
+        assert a == b
+
+    def test_seed_changes_instance(self):
+        a = random_unit_skew_smd(8, 4, seed=9)
+        b = random_unit_skew_smd(8, 4, seed=10)
+        assert a != b
+
+    def test_every_user_wants_something(self):
+        inst = random_unit_skew_smd(6, 10, seed=2, density=0.05)
+        for u in inst.users:
+            assert u.utilities
+
+
+class TestRandomSmd:
+    def test_skew_bounded(self):
+        for target in (2.0, 8.0, 64.0):
+            inst = random_smd(12, 5, skew=target, seed=3)
+            assert inst.local_skew() <= target * (1 + 1e-9)
+
+    def test_skew_one_is_unit(self):
+        inst = random_smd(10, 4, skew=1.0, seed=4)
+        assert inst.is_unit_skew()
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValidationError):
+            random_smd(5, 2, skew=0.5, seed=1)
+
+    def test_caps_infinite(self):
+        inst = random_smd(6, 3, skew=4.0, seed=5)
+        assert all(math.isinf(u.utility_cap) for u in inst.users)
+
+
+class TestRandomMmd:
+    def test_shape(self):
+        inst = random_mmd(7, 4, m=3, mc=2, seed=6)
+        assert inst.m == 3
+        assert inst.mc == 2
+        assert all(len(s.costs) == 3 for s in inst.streams)
+
+    def test_validates(self):
+        # Construction itself validates; touching skew exercises loads.
+        inst = random_mmd(7, 4, m=2, mc=3, seed=7)
+        assert inst.local_skew() >= 1.0
+
+    def test_mc_zero(self):
+        inst = random_mmd(5, 3, m=2, mc=0, seed=8)
+        assert inst.mc == 0
+
+
+class TestSmallStreams:
+    def test_precondition_holds(self):
+        for seed in range(3):
+            inst = small_streams_mmd(15, 4, seed=seed)
+            assert small_streams_condition(inst)
+
+    def test_multi_measure_precondition(self):
+        inst = small_streams_mmd(12, 3, m=2, mc=2, seed=11)
+        assert small_streams_condition(inst)
+
+    def test_headroom_validated(self):
+        with pytest.raises(ValidationError):
+            small_streams_mmd(5, 2, headroom=0.5, seed=1)
+
+
+class TestTightness:
+    def test_shape(self):
+        inst = tightness_instance(3, 2)
+        assert inst.m == 3
+        assert inst.mc == 2
+        assert inst.num_streams == 3 + 2 - 1
+        assert inst.num_users == 1
+
+    def test_full_assignment_feasible(self):
+        from repro.core.assignment import saturating_assignment
+
+        inst = tightness_instance(4, 3)
+        a = saturating_assignment(inst, inst.stream_ids())
+        assert a.is_feasible()
+        assert a.utility() == pytest.approx(4.0)  # OPT = m
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            tightness_instance(0, 1)
+
+
+class TestGroupBudgetEmbedding:
+    """The paper's §1.2 claim: MMD strictly generalizes maximum coverage
+    with group budget constraints [6]."""
+
+    def test_at_most_one_per_group_enforced(self):
+        from repro.core.optimal import solve_exact_milp
+
+        # Group 0 has two overlapping sets; an unconstrained picker would
+        # take both, the group budget forbids it.
+        inst = group_budget_instance(
+            groups=[[["a", "b"], ["b", "c"]], [["d"]]],
+            num_picks=3,
+        )
+        opt = solve_exact_milp(inst)
+        chosen = opt.assignment.assigned_streams()
+        group0 = {sid for sid in chosen if sid.startswith("g00")}
+        assert len(group0) <= 1
+        # Best: one of group 0 (2 elements) + group 1's set (1 element).
+        assert opt.utility == pytest.approx(3.0)
+
+    def test_cardinality_budget_enforced(self):
+        from repro.core.optimal import solve_exact_milp
+
+        inst = group_budget_instance(
+            groups=[[["a"]], [["b"]], [["c"]]],
+            num_picks=2,
+        )
+        opt = solve_exact_milp(inst)
+        assert len(opt.assignment.assigned_streams()) <= 2
+        assert opt.utility == pytest.approx(2.0)
+
+    def test_weighted_elements(self):
+        from repro.core.optimal import solve_exact_milp
+
+        inst = group_budget_instance(
+            groups=[[["a"], ["b"]]],
+            num_picks=1,
+            element_weights={"a": 10.0, "b": 1.0},
+        )
+        assert solve_exact_milp(inst).utility == pytest.approx(10.0)
+
+    def test_pipeline_feasible_on_embedding(self):
+        from repro.core.solver import solve_mmd
+
+        inst = group_budget_instance(
+            groups=[[["a", "b"], ["c"]], [["b", "d"], ["e"]], [["f"]]],
+            num_picks=2,
+        )
+        result = solve_mmd(inst)
+        assert result.assignment.is_feasible()
+        chosen = result.assignment.assigned_streams()
+        for g in range(3):
+            assert sum(1 for sid in chosen if sid.startswith(f"g{g:02d}")) <= 1
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValidationError):
+            group_budget_instance(groups=[], num_picks=1)
+
+
+class TestEmbeddings:
+    def test_knapsack_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            knapsack_instance([1.0], [1.0, 2.0], 5.0)
+
+    def test_knapsack_single_user(self):
+        inst = knapsack_instance([3.0, 4.0], [1.0, 2.0], 2.0)
+        assert inst.num_users == 1
+        assert inst.budgets == (2.0,)
+
+    def test_coverage_mismatched_costs(self):
+        with pytest.raises(ValidationError):
+            max_coverage_instance([["a"]], budget=1.0, costs=[1.0, 2.0])
+
+    def test_coverage_elements_become_users(self):
+        inst = max_coverage_instance([["a", "b"], ["b"]], budget=1.0)
+        assert inst.num_users == 2
+        assert inst.user("elem-b").utility_cap == 1.0

@@ -1,0 +1,243 @@
+"""Tests for the MMD data model (repro.core.instance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.instance import (
+    MMDInstance,
+    Stream,
+    User,
+    sanitize_utilities,
+    smd_instance,
+    unit_skew_instance,
+)
+from repro.exceptions import ValidationError
+
+
+class TestStream:
+    def test_costs_frozen_and_validated(self):
+        s = Stream("s1", (1.0, 2.0))
+        assert s.costs == (1.0, 2.0)
+        assert s.num_measures == 2
+        assert s.cost(1) == 2.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Stream("s1", (-1.0,))
+
+    def test_nan_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            Stream("s1", (float("nan"),))
+
+
+class TestUser:
+    def test_basic_accessors(self):
+        u = User(
+            user_id="u1",
+            utility_cap=5.0,
+            capacities=(10.0, 20.0),
+            utilities={"s1": 3.0},
+            loads={"s1": (1.0, 2.0)},
+        )
+        assert u.utility("s1") == 3.0
+        assert u.utility("unknown") == 0.0
+        assert u.load("s1", 1) == 2.0
+        assert u.load("unknown") == 0.0
+        assert u.load_vector("unknown") == (0.0, 0.0)
+        assert u.wanted_streams() == frozenset({"s1"})
+
+    def test_zero_utility_entry_rejected(self):
+        with pytest.raises(ValidationError, match="sparse"):
+            User("u1", 5.0, (1.0,), utilities={"s1": 0.0})
+
+    def test_load_without_utility_rejected(self):
+        with pytest.raises(ValidationError, match="subset"):
+            User("u1", 5.0, (1.0,), utilities={}, loads={"s1": (0.5,)})
+
+    def test_load_length_must_match_capacities(self):
+        with pytest.raises(ValidationError):
+            User("u1", 5.0, (1.0, 2.0), utilities={"s1": 1.0}, loads={"s1": (0.5,)})
+
+    def test_negative_utility_rejected(self):
+        with pytest.raises(ValidationError):
+            User("u1", 5.0, (1.0,), utilities={"s1": -2.0})
+
+
+class TestMMDInstanceValidation:
+    def test_duplicate_stream_ids_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            MMDInstance([Stream("s", (1.0,)), Stream("s", (2.0,))], [], (10.0,))
+
+    def test_duplicate_user_ids_rejected(self):
+        users = [
+            User("u", math.inf, (1.0,)),
+            User("u", math.inf, (1.0,)),
+        ]
+        with pytest.raises(ValidationError, match="duplicate"):
+            MMDInstance([Stream("s", (1.0,))], users, (10.0,))
+
+    def test_cost_vector_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="cost measures"):
+            MMDInstance([Stream("s", (1.0, 2.0))], [], (10.0,))
+
+    def test_stream_exceeding_budget_rejected(self):
+        # The paper's standing assumption: c_i(S) <= B_i.
+        with pytest.raises(ValidationError, match="exceeds budget"):
+            MMDInstance([Stream("s", (11.0,))], [], (10.0,))
+
+    def test_unknown_stream_in_utilities_rejected(self):
+        users = [User("u", math.inf, (1.0,), utilities={"ghost": 1.0}, loads={"ghost": (0.5,)})]
+        with pytest.raises(ValidationError, match="unknown stream"):
+            MMDInstance([Stream("s", (1.0,))], users, (10.0,))
+
+    def test_overloaded_positive_utility_rejected_in_strict_mode(self):
+        users = [User("u", math.inf, (1.0,), utilities={"s": 1.0}, loads={"s": (2.0,)})]
+        with pytest.raises(ValidationError, match="w_u"):
+            MMDInstance([Stream("s", (1.0,))], users, (10.0,))
+
+    def test_non_strict_mode_allows_overload(self):
+        users = [User("u", math.inf, (1.0,), utilities={"s": 1.0}, loads={"s": (2.0,)})]
+        inst = MMDInstance([Stream("s", (1.0,))], users, (10.0,), strict=False)
+        fixed = sanitize_utilities(inst)
+        assert fixed.user("u").utility("s") == 0.0
+
+    def test_capacity_length_mismatch_rejected(self):
+        users = [
+            User("u1", math.inf, (1.0,)),
+            User("u2", math.inf, (1.0, 2.0)),
+        ]
+        with pytest.raises(ValidationError, match="capacity measures"):
+            MMDInstance([Stream("s", (1.0,))], users, (10.0,))
+
+
+class TestInstanceShape:
+    def test_shape_properties(self, tiny_instance):
+        assert tiny_instance.m == 1
+        assert tiny_instance.mc == 1
+        assert tiny_instance.num_streams == 3
+        assert tiny_instance.num_users == 2
+        assert tiny_instance.is_smd
+        # n = streams + users + nonzero utilities = 3 + 2 + 4
+        assert tiny_instance.input_length == 9
+
+    def test_lookup(self, tiny_instance):
+        assert tiny_instance.stream("news").costs == (4.0,)
+        assert tiny_instance.user("a").utility_cap == 10.0
+        with pytest.raises(ValidationError):
+            tiny_instance.stream("nope")
+        with pytest.raises(ValidationError):
+            tiny_instance.user("nope")
+
+    def test_total_utility(self, tiny_instance):
+        assert tiny_instance.total_utility("news") == 5.0
+        assert tiny_instance.total_utility("sports") == 9.0
+
+    def test_max_total_utility(self, tiny_instance):
+        # a: min(10, 12) = 10; b: min(6, 7) = 6
+        assert tiny_instance.max_total_utility() == 16.0
+
+    def test_interested_users(self, tiny_instance):
+        assert {u.user_id for u in tiny_instance.interested_users("news")} == {"a", "b"}
+        assert {u.user_id for u in tiny_instance.interested_users("movies")} == {"b"}
+
+
+class TestSkew:
+    def test_unit_skew_instance_has_skew_one(self, tiny_instance):
+        assert tiny_instance.local_skew() == 1.0
+        assert tiny_instance.is_unit_skew()
+
+    def test_local_skew_value(self, capacity_instance):
+        # u1 ratios: 4/1, 6/4, 1/1 -> spread 4/1.5=4.0/1.0... max 4, min 1 -> 4
+        # u2 ratios: 2/2=1, 5/2.5=2 -> spread 2
+        assert capacity_instance.local_skew() == pytest.approx(4.0)
+        assert not capacity_instance.is_unit_skew()
+
+    def test_global_skew_at_least_local(self, capacity_instance):
+        assert capacity_instance.global_skew() >= capacity_instance.local_skew() - 1e-9
+
+    def test_global_skew_unit_instance(self):
+        inst = unit_skew_instance(
+            {"s": 2.0}, budget=2.0,
+            utilities={"u": {"s": 4.0}}, utility_caps={"u": 4.0},
+        )
+        assert inst.global_skew() == pytest.approx(1.0)
+
+    def test_free_pairs_detection(self):
+        streams = [Stream("s1", (1.0,)), Stream("s2", (1.0,))]
+        users = [
+            User(
+                "u",
+                math.inf,
+                (5.0,),
+                utilities={"s1": 1.0, "s2": 2.0},
+                loads={"s1": (0.0,), "s2": (1.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (2.0,))
+        assert inst.has_free_pairs()
+
+
+class TestSerialization:
+    def test_round_trip(self, tiny_instance):
+        data = tiny_instance.to_dict()
+        clone = MMDInstance.from_dict(data)
+        assert clone == tiny_instance
+        assert clone.to_json() == tiny_instance.to_json()
+
+    def test_round_trip_with_infinities(self, capacity_instance):
+        clone = MMDInstance.from_json(capacity_instance.to_json())
+        assert clone == capacity_instance
+        assert math.isinf(clone.user("u1").utility_cap)
+
+    def test_hash_consistency(self, tiny_instance):
+        clone = MMDInstance.from_dict(tiny_instance.to_dict())
+        assert hash(clone) == hash(tiny_instance)
+
+
+class TestRebuildHelpers:
+    def test_with_utilities_replaces_sparse_maps(self, tiny_instance):
+        new = tiny_instance.with_utilities(
+            {"a": {"news": 7.0}, "b": {}},
+            name="rebuilt",
+        )
+        assert new.user("a").utility("news") == 7.0
+        assert new.user("a").utility("sports") == 0.0
+        assert new.user("b").utilities == {}
+        assert new.name == "rebuilt"
+        # Original untouched.
+        assert tiny_instance.user("a").utility("sports") == 9.0
+
+    def test_restrict_streams(self, tiny_instance):
+        sub = tiny_instance.restrict_streams(["news", "movies"])
+        assert sub.num_streams == 2
+        assert sub.user("a").utility("sports") == 0.0
+        with pytest.raises(ValidationError):
+            tiny_instance.restrict_streams(["ghost"])
+
+
+class TestConstructors:
+    def test_smd_instance_defaults_to_unit_skew(self):
+        inst = smd_instance(
+            {"s": 3.0},
+            budget=5.0,
+            utilities={"u": {"s": 2.0}},
+            utility_caps={"u": 4.0},
+        )
+        assert inst.user("u").load("s") == 2.0
+        assert inst.user("u").capacities == (4.0,)
+        assert inst.is_unit_skew()
+
+    def test_smd_instance_with_explicit_loads(self):
+        inst = smd_instance(
+            {"s": 3.0},
+            budget=5.0,
+            utilities={"u": {"s": 2.0}},
+            utility_caps={"u": 4.0},
+            loads={"u": {"s": 1.0}},
+            capacities={"u": 2.0},
+        )
+        assert inst.user("u").load("s") == 1.0
+        assert inst.user("u").capacities == (2.0,)

@@ -1,0 +1,108 @@
+"""Cross-module integration tests: realistic workloads through the whole
+pipeline, serialization in the loop, and the dynamic-vs-static bridge."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.allocate import allocate, small_streams_condition
+from repro.core.baselines import threshold_admission
+from repro.core.instance import MMDInstance
+from repro.core.optimal import lp_upper_bound, solve_exact_milp
+from repro.core.solver import solve_mmd, theorem_1_1_bound
+from repro.instances.generators import tightness_instance
+from repro.instances.workloads import (
+    cable_headend_workload,
+    iptv_neighborhood_workload,
+    small_streams_workload,
+)
+from repro.sim.policies import AllocatePolicy, ThresholdPolicy
+from repro.sim.simulation import ArrivalModel, compare_policies
+
+
+class TestWorkloadPipeline:
+    def test_headend_within_lp_bound(self):
+        inst = cable_headend_workload(num_channels=20, num_gateways=3, seed=61)
+        result = solve_mmd(inst)
+        bound = lp_upper_bound(inst)
+        assert result.assignment.is_feasible()
+        assert result.utility <= bound + 1e-6
+        # The LP-referenced ratio must respect the Theorem 1.1 constant.
+        assert bound / max(result.utility, 1e-12) <= theorem_1_1_bound(inst) + 1e-9
+
+    def test_neighborhood_beats_threshold(self):
+        """The paper's motivating comparison on a realistic workload:
+        the approximation pipeline should not lose to blind admission."""
+        wins = 0
+        for seed in range(4):
+            inst = iptv_neighborhood_workload(
+                num_channels=20, num_households=10, seed=seed
+            )
+            ours = solve_mmd(inst).utility
+            theirs = threshold_admission(inst).utility()
+            if ours >= theirs - 1e-9:
+                wins += 1
+        assert wins >= 3  # allow one unlucky arrival order
+
+    def test_small_streams_workload_online(self):
+        inst = small_streams_workload(num_channels=25, num_households=6, seed=62)
+        assert small_streams_condition(inst)
+        result = allocate(inst)
+        assert result.assignment.is_feasible()
+        bound = lp_upper_bound(inst)
+        achieved = result.assignment.utility()
+        if achieved > 0:
+            assert bound / achieved <= result.competitive_bound + 1e-9
+
+
+class TestSerializationInTheLoop:
+    def test_solve_after_round_trip(self):
+        inst = iptv_neighborhood_workload(num_channels=12, num_households=5, seed=63)
+        clone = MMDInstance.from_json(inst.to_json())
+        original = solve_mmd(inst)
+        replayed = solve_mmd(clone)
+        assert replayed.utility == pytest.approx(original.utility)
+        assert replayed.method == original.method
+
+
+class TestTightnessBehaviour:
+    def test_pipeline_loses_at_most_m_on_tightness_family(self):
+        """Our implementation picks the best post-repair candidate, so on
+        the §4.2 family it achieves OPT/m (the analysis-tight OPT/(m·mc)
+        candidate exists but is not chosen)."""
+        for m, mc in [(2, 2), (3, 3)]:
+            inst = tightness_instance(m, mc)
+            opt = solve_exact_milp(inst).utility
+            result = solve_mmd(inst)
+            ratio = opt / max(result.utility, 1e-12)
+            assert ratio <= m + 1e-9
+
+
+class TestStaticVsDynamic:
+    def test_static_solution_bounds_dynamic_rate(self):
+        """With all streams permanently active, no online policy can beat
+        the static optimum's utility *rate*; check our sim's accounting
+        against that ceiling on a small workload."""
+        inst = iptv_neighborhood_workload(num_channels=10, num_households=5, seed=64)
+        opt_rate = solve_exact_milp(inst).utility
+        reports = compare_policies(
+            inst,
+            [ThresholdPolicy(), AllocatePolicy()],
+            horizon=150.0,
+            model=ArrivalModel(rate=2.0, mean_duration=20.0),
+            seed=65,
+        )
+        for report in reports:
+            assert report.mean_utility_rate <= opt_rate + 1e-6
+
+
+class TestConsistencyAcrossMethods:
+    def test_enumeration_never_worse_than_greedy_via_solver(self):
+        inst = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=66)
+        g = solve_mmd(inst, method="greedy").utility
+        e = solve_mmd(inst, method="enumeration").utility
+        # Enumeration subsumes greedy's seeds, but the classify/lift stages
+        # can reorder winners; allow a small slack in the comparison.
+        assert e >= 0.8 * g

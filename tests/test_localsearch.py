@@ -1,0 +1,66 @@
+"""Tests for swap local search (repro.core.localsearch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.localsearch import _try_with_stream_set, local_search
+from repro.core.optimal import solve_exact_milp
+from tests.conftest import mmd_ensemble, unit_skew_ensemble
+
+
+class TestTryWithStreamSet:
+    def test_infeasible_set_returns_none(self, tiny_instance):
+        # news + sports costs 12 > budget 10.
+        assert _try_with_stream_set(tiny_instance, {"news", "sports"}) is None
+
+    def test_feasible_set_delivers(self, tiny_instance):
+        a = _try_with_stream_set(tiny_instance, {"news", "movies"})
+        assert a is not None
+        assert a.is_feasible()
+        assert a.assigned_streams() <= {"news", "movies"}
+
+    def test_respects_capacities(self, capacity_instance):
+        a = _try_with_stream_set(
+            capacity_instance, set(capacity_instance.stream_ids())
+        )
+        if a is not None:
+            assert a.is_user_feasible()
+
+
+class TestLocalSearch:
+    def test_feasible_everywhere(self):
+        for inst in unit_skew_ensemble(count=5, seed=911):
+            a = local_search(inst)
+            assert a.is_feasible(), a.violated_constraints()
+
+    def test_feasible_on_mmd(self):
+        for inst in mmd_ensemble(count=3, m=2, mc=2, seed=921):
+            a = local_search(inst, max_iterations=50)
+            assert a.is_feasible()
+
+    def test_improves_from_empty(self, tiny_instance):
+        a = local_search(tiny_instance)
+        assert a.utility() > 0
+
+    def test_finds_optimum_on_tiny(self, tiny_instance):
+        # OPT = 9 here; 1-swap search from empty reaches it.
+        a = local_search(tiny_instance)
+        assert a.utility() == pytest.approx(9.0)
+
+    def test_never_exceeds_opt(self):
+        for inst in unit_skew_ensemble(count=4, seed=931):
+            opt = solve_exact_milp(inst).utility
+            a = local_search(inst, max_iterations=60)
+            assert a.utility() <= opt + 1e-6
+
+    def test_initial_assignment_respected(self, tiny_instance):
+        start = Assignment(tiny_instance, {"b": ["movies"]})
+        a = local_search(tiny_instance, initial=start)
+        assert a.utility() >= start.utility() - 1e-9
+
+    def test_iteration_cap(self, tiny_instance):
+        # max_iterations=0 means no moves: empty assignment (plus fill).
+        a = local_search(tiny_instance, max_iterations=0, fill=False)
+        assert a.utility() == 0.0

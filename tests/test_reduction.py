@@ -1,0 +1,254 @@
+"""Tests for §4: the multi-budget reduction and Fig. 3 decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.optimal import solve_exact_milp
+from repro.core.reduction import (
+    decomposition_group_bound,
+    reduce_to_single_budget,
+    solve_by_reduction,
+    unit_interval_decomposition,
+    utility_cap_as_capacity,
+)
+from repro.core.skew import classify_and_select
+from repro.exceptions import ValidationError
+from repro.instances.generators import random_mmd, tightness_instance
+from tests.conftest import mmd_ensemble
+
+
+class TestUnitIntervalDecomposition:
+    def test_paper_figure_pattern(self):
+        # 0.6-costs: each interval straddles an integer after the first.
+        groups = unit_interval_decomposition(
+            ["a", "b", "c"], {"a": 0.6, "b": 0.6, "c": 0.6}.get
+        )
+        assert groups == [["a"], ["b"], ["c"]]
+
+    def test_halves_pair_up(self):
+        groups = unit_interval_decomposition(
+            list("abcd"), dict(a=0.5, b=0.5, c=0.5, d=0.5).get
+        )
+        assert groups == [["a", "b"], ["c", "d"]]
+
+    def test_big_item_is_singleton(self):
+        groups = unit_interval_decomposition(
+            ["a", "b", "c"], {"a": 0.3, "b": 2.5, "c": 0.3}.get
+        )
+        assert ["b"] in groups
+        flat = [x for g in groups for x in g]
+        assert flat == ["a", "b", "c"]
+
+    def test_zero_cost_items_join_current_group(self):
+        groups = unit_interval_decomposition(
+            ["a", "z", "b"], {"a": 0.4, "z": 0.0, "b": 0.4}.get
+        )
+        assert groups == [["a", "z", "b"]]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValidationError):
+            unit_interval_decomposition(["a"], {"a": -1.0}.get)
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_partition_and_unit_groups(self, costs):
+        """Sub-unit items: groups partition the items in order; every
+        group's total cost is at most 1 (+fuzz); group count respects
+        the paper bound 2·ceil(total)-1."""
+        items = [f"i{k}" for k in range(len(costs))]
+        table = dict(zip(items, costs))
+        groups = unit_interval_decomposition(items, table.get)
+        flat = [x for g in groups for x in g]
+        assert flat == items  # partition, order preserved
+        for g in groups:
+            assert sum(table[x] for x in g) <= 1.0 + 1e-6
+        total = sum(costs)
+        assert len(groups) <= max(1, decomposition_group_bound(total))
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.0, max_value=3.0), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_mixed_sizes(self, costs):
+        """With items above 1: every group is a singleton or totals <= 1."""
+        items = [f"i{k}" for k in range(len(costs))]
+        table = dict(zip(items, costs))
+        groups = unit_interval_decomposition(items, table.get)
+        flat = [x for g in groups for x in g]
+        assert flat == items
+        for g in groups:
+            total = sum(table[x] for x in g)
+            assert len(g) == 1 or total <= 1.0 + 1e-6
+
+
+class TestUtilityCapConversion:
+    def test_infinite_caps_returned_unchanged(self, capacity_instance):
+        assert utility_cap_as_capacity(capacity_instance) is capacity_instance
+
+    def test_finite_cap_becomes_measure(self, tiny_instance):
+        converted = utility_cap_as_capacity(tiny_instance)
+        assert converted.mc == tiny_instance.mc + 1
+        u = converted.user("a")
+        assert math.isinf(u.utility_cap)
+        assert u.capacities[-1] == 10.0
+        assert u.load_vector("sports")[-1] == 9.0
+
+    def test_oversized_stream_load_clipped(self):
+        # A stream worth more than the cap stays assignable (saturating).
+        streams = [Stream("s", (1.0,))]
+        users = [
+            User("u", 5.0, (math.inf,), utilities={"s": 8.0}, loads={"s": (0.0,)})
+        ]
+        inst = MMDInstance(streams, users, (2.0,))
+        converted = utility_cap_as_capacity(inst)
+        assert converted.user("u").load_vector("s")[-1] == 5.0  # clipped at W_u
+        # Still valid (load <= cap) and the stream is assignable.
+        a = Assignment(converted, {"u": ["s"]})
+        assert a.is_feasible()
+
+
+class TestInputTransformation:
+    def test_requires_infinite_caps(self, tiny_instance):
+        with pytest.raises(ValidationError, match="infinite utility caps"):
+            reduce_to_single_budget(tiny_instance)
+
+    def test_reduced_shape(self, multi_budget_instance):
+        red = reduce_to_single_budget(multi_budget_instance)
+        assert red.reduced.m == 1
+        assert red.reduced.mc == 1
+        # B = number of finite measures.
+        assert red.reduced.budgets[0] == float(len(red.finite_measures))
+
+    def test_reduced_costs_are_normalized_sums(self, multi_budget_instance):
+        red = reduce_to_single_budget(multi_budget_instance)
+        inst = multi_budget_instance
+        for s in inst.streams:
+            expected = sum(
+                s.costs[i] / inst.budgets[i] for i in red.finite_measures
+            )
+            assert red.reduced.stream(s.stream_id).costs[0] == pytest.approx(expected)
+
+    def test_lemma_41_skew_bound(self):
+        """α_S <= m_c · α_M."""
+        for inst in mmd_ensemble(count=5, m=2, mc=2, seed=71):
+            red = reduce_to_single_budget(inst)
+            alpha_m = inst.local_skew()
+            alpha_s = red.reduced.local_skew()
+            assert alpha_s <= inst.mc * alpha_m * (1 + 1e-9)
+
+    def test_infinite_budget_measures_skipped(self):
+        streams = [Stream("s", (2.0, 5.0))]
+        users = [
+            User("u", math.inf, (math.inf,), utilities={"s": 1.0}, loads={"s": (1.0,)})
+        ]
+        inst = MMDInstance(streams, users, (4.0, math.inf))
+        red = reduce_to_single_budget(inst)
+        assert red.finite_measures == (0,)
+        assert red.reduced.stream("s").costs[0] == pytest.approx(0.5)
+        assert red.reduced.budgets[0] == 1.0
+
+    def test_optimal_solution_feasible_in_reduced(self):
+        """Lemma 4.2(3): the original optimum fits the reduced constraints."""
+        for inst in mmd_ensemble(count=4, m=2, mc=2, seed=81):
+            red = reduce_to_single_budget(inst)
+            opt = solve_exact_milp(inst)
+            moved = opt.assignment.on_instance(red.reduced)
+            assert moved.is_feasible(rtol=1e-6), moved.violated_constraints()
+
+
+class TestOutputTransformation:
+    def test_lift_produces_feasible(self):
+        for inst in mmd_ensemble(count=6, m=2, mc=2, seed=91):
+            red = reduce_to_single_budget(inst)
+            reduced_solution = classify_and_select(red.reduced)
+            lifted = red.lift(reduced_solution)
+            assert lifted.instance is inst
+            assert lifted.is_feasible(), lifted.violated_constraints()
+
+    def test_lift_empty(self, multi_budget_instance):
+        red = reduce_to_single_budget(multi_budget_instance)
+        lifted = red.lift(Assignment(red.reduced))
+        assert lifted.is_empty()
+
+    def test_lift_rejects_foreign_assignment(self, multi_budget_instance):
+        red = reduce_to_single_budget(multi_budget_instance)
+        with pytest.raises(ValidationError):
+            red.lift(Assignment(multi_budget_instance))
+
+    def test_solve_by_reduction_end_to_end(self):
+        for inst in mmd_ensemble(count=4, m=3, mc=1, seed=99):
+            a = solve_by_reduction(inst, classify_and_select)
+            assert a.is_feasible()
+
+    def test_theorem_43_bound(self):
+        """OPT/achieved <= (2m-1)(2mc-1) · class-stage bound on ensembles."""
+        from repro.core.greedy import FEASIBLE_FACTOR
+        from repro.core.skew import num_skew_classes
+
+        for inst in mmd_ensemble(count=5, m=2, mc=2, seed=111):
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            red = reduce_to_single_budget(inst)
+            a = red.lift(classify_and_select(red.reduced))
+            alpha_s = max(red.reduced.local_skew(), 1.0)
+            classes = num_skew_classes(alpha_s) + (
+                1 if red.reduced.has_free_pairs() else 0
+            )
+            bound = (
+                (2 * inst.m - 1)
+                * (2 * inst.mc - 1)
+                * 2.0
+                * classes
+                * FEASIBLE_FACTOR
+            )
+            ratio = opt / max(a.utility(), 1e-12)
+            assert ratio <= bound + 1e-9
+
+
+class TestTightnessFamily:
+    def test_opt_is_m(self):
+        for m, mc in [(2, 2), (3, 2), (4, 3)]:
+            inst = tightness_instance(m, mc)
+            opt = solve_exact_milp(inst)
+            assert opt.utility == pytest.approx(m)
+
+    def test_everything_transmittable(self):
+        inst = tightness_instance(3, 3)
+        a = Assignment(inst)
+        for sid in inst.stream_ids():
+            a.add_stream_to_all(sid)
+        assert a.is_feasible()
+
+    def test_candidate_set_contains_weak_candidate(self):
+        """The §4.2 point: the decomposition's candidate set includes one
+        worth only OPT/(m·mc) — taking the small-stream group and fixing
+        the user leaves a single 1/mc-utility stream."""
+        m, mc = 3, 3
+        inst = tightness_instance(m, mc)
+        red = reduce_to_single_budget(inst)
+        # Adversarial reduced solution: everything (feasible in I_S).
+        full = Assignment(red.reduced)
+        for sid in red.reduced.stream_ids():
+            full.add_stream_to_all(sid)
+        assert full.is_feasible()
+        # The small streams S_m.. have reduced cost (1/2+eps)/mc each and
+        # together fit one unit window; restricted to them and user-fixed,
+        # at most one survives -> utility 1/mc = OPT/(m·mc).
+        small = [f"s{j:03d}" for j in range(m, m + mc)]
+        restricted = full.on_instance(inst).restrict(small)
+        repaired = red._repair_users(restricted)
+        assert repaired.utility() == pytest.approx(1.0 / mc)

@@ -1,0 +1,73 @@
+"""Tests for the LP-rounding heuristic (repro.core.rounding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal import lp_upper_bound, solve_exact_milp
+from repro.core.rounding import fractional_solution, lp_rounding
+from tests.conftest import mmd_ensemble, unit_skew_ensemble
+
+
+class TestFractionalSolution:
+    def test_values_in_unit_interval(self, tiny_instance):
+        x_values, y_values = fractional_solution(tiny_instance)
+        assert all(-1e-9 <= v <= 1 + 1e-9 for v in x_values.values())
+        assert all(-1e-9 <= v <= 1 + 1e-9 for v in y_values.values())
+
+    def test_objective_matches_lp_bound(self, tiny_instance):
+        x_values, y_values = fractional_solution(tiny_instance)
+        # Reconstruct the capped objective from y values.
+        value = 0.0
+        for u in tiny_instance.users:
+            raw = sum(
+                u.utilities[sid] * y_values.get((u.user_id, sid), 0.0)
+                for sid in u.utilities
+            )
+            value += min(u.utility_cap, raw)
+        assert value >= lp_upper_bound(tiny_instance) - 1e-6
+
+    def test_empty_instance(self):
+        from repro.core.instance import MMDInstance
+
+        x_values, y_values = fractional_solution(MMDInstance([], [], (1.0,)))
+        assert x_values == {} and y_values == {}
+
+
+class TestLpRounding:
+    def test_always_feasible(self):
+        for inst in unit_skew_ensemble(count=6, seed=871):
+            a = lp_rounding(inst, seed=1, trials=3)
+            assert a.is_feasible(), a.violated_constraints()
+
+    def test_feasible_on_mmd(self):
+        for inst in mmd_ensemble(count=4, m=2, mc=2, seed=881):
+            a = lp_rounding(inst, seed=2, trials=3)
+            assert a.is_feasible()
+
+    def test_never_exceeds_opt(self):
+        for inst in unit_skew_ensemble(count=4, seed=891):
+            opt = solve_exact_milp(inst).utility
+            a = lp_rounding(inst, seed=3, trials=3)
+            assert a.utility() <= opt + 1e-6
+
+    def test_deterministic_given_seed(self, tiny_instance):
+        a = lp_rounding(tiny_instance, seed=5, trials=3)
+        b = lp_rounding(tiny_instance, seed=5, trials=3)
+        assert a.as_dict() == b.as_dict()
+
+    def test_trials_validated(self, tiny_instance):
+        with pytest.raises(ValueError):
+            lp_rounding(tiny_instance, trials=0)
+
+    def test_reasonable_quality(self):
+        """On small instances, LP rounding with fill should land within 2x
+        of optimal (no guarantee — a sanity floor for the heuristic)."""
+        worst = 1.0
+        for inst in unit_skew_ensemble(count=6, seed=901):
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            a = lp_rounding(inst, seed=7, trials=5)
+            worst = max(worst, opt / max(a.utility(), 1e-12))
+        assert worst <= 2.5

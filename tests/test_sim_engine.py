@@ -1,0 +1,191 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Engine, Timeout, poisson_arrivals
+from repro.util.rng import ensure_rng
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(3.0, lambda: log.append("c"))
+        engine.schedule(1.0, lambda: log.append("a"))
+        engine.schedule(2.0, lambda: log.append("b"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+        assert engine.events_processed == 3
+
+    def test_ties_fire_fifo(self):
+        engine = Engine()
+        log = []
+        for name in "abcd":
+            engine.schedule(1.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        engine = Engine()
+        hits = []
+        engine.schedule_at(5.0, lambda: hits.append(engine.now))
+        engine.run()
+        assert hits == [5.0]
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append(("first", engine.now))
+            engine.schedule(2.0, second)
+
+        def second():
+            log.append(("second", engine.now))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until_stops_at_horizon(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(10.0, lambda: log.append(10))
+        engine.run_until(5.0)
+        assert log == [1]
+        assert engine.now == 5.0
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_max_events_cap(self):
+        engine = Engine()
+        log = []
+        for i in range(5):
+            engine.schedule(float(i), lambda i=i: log.append(i))
+        engine.run(max_events=2)
+        assert log == [0, 1]
+        assert not engine.empty()
+
+
+class TestProcesses:
+    def test_timeout_process(self):
+        engine = Engine()
+        log = []
+
+        def worker(name, delay):
+            yield Timeout(delay)
+            log.append((engine.now, name))
+
+        engine.process(worker("a", 2.0))
+        engine.process(worker("b", 1.0))
+        engine.run()
+        assert log == [(1.0, "b"), (2.0, "a")]
+
+    def test_multiple_timeouts(self):
+        engine = Engine()
+        ticks = []
+
+        def clock():
+            for _ in range(3):
+                yield Timeout(1.0)
+                ticks.append(engine.now)
+
+        engine.process(clock())
+        engine.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_join_other_process(self):
+        engine = Engine()
+        log = []
+
+        def slow():
+            yield Timeout(5.0)
+            log.append("slow-done")
+
+        def waiter(proc):
+            yield proc
+            log.append(("waited-until", engine.now))
+
+        proc = engine.process(slow())
+        engine.process(waiter(proc))
+        engine.run()
+        assert log == ["slow-done", ("waited-until", 5.0)]
+        assert proc.finished
+
+    def test_join_finished_process_resumes_immediately(self):
+        engine = Engine()
+        log = []
+
+        def quick():
+            yield Timeout(0.0)
+
+        proc = engine.process(quick())
+        engine.run()
+
+        def waiter():
+            yield proc
+            log.append(engine.now)
+
+        engine.process(waiter())
+        engine.run()
+        assert log == [engine.now]
+
+    def test_bad_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield "nonsense"
+
+        engine.process(bad())
+        with pytest.raises(SimulationError, match="expected Timeout or Process"):
+            engine.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+
+class TestPoissonArrivals:
+    def test_arrivals_within_horizon(self):
+        engine = Engine()
+        times = []
+        rng = ensure_rng(5)
+        engine.process(
+            poisson_arrivals(engine, 2.0, lambda: times.append(engine.now), rng, 50.0)
+        )
+        engine.run()
+        assert times
+        assert all(t <= 50.0 for t in times)
+        # Rate 2 over 50 time units: expect ~100 arrivals, loosely.
+        assert 50 <= len(times) <= 170
+
+    def test_zero_rate_produces_nothing(self):
+        engine = Engine()
+        times = []
+        rng = ensure_rng(5)
+        engine.process(
+            poisson_arrivals(engine, 0.0, lambda: times.append(engine.now), rng, 10.0)
+        )
+        engine.run()
+        assert times == []
+
+    def test_negative_rate_rejected(self):
+        engine = Engine()
+        rng = ensure_rng(1)
+        gen = poisson_arrivals(engine, -1.0, lambda: None, rng, 10.0)
+        with pytest.raises(SimulationError):
+            next(gen)

@@ -1,0 +1,75 @@
+"""Tests for time-weighted metrics (repro.sim.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import SimulationReport, TimeWeightedValue
+
+
+class TestTimeWeightedValue:
+    def test_piecewise_integration(self):
+        v = TimeWeightedValue()
+        v.set(0.0, 2.0)
+        v.set(5.0, 0.0)
+        assert v.integral(10.0) == pytest.approx(10.0)
+        assert v.mean(10.0) == pytest.approx(1.0)
+
+    def test_add_steps(self):
+        v = TimeWeightedValue()
+        v.add(0.0, 3.0)  # 3 from t=0
+        v.add(2.0, -1.0)  # 2 from t=2
+        v.add(4.0, 5.0)  # 7 from t=4
+        assert v.integral(6.0) == pytest.approx(3 * 2 + 2 * 2 + 7 * 2)
+        assert v.value == 7.0
+
+    def test_peak_tracking(self):
+        v = TimeWeightedValue()
+        v.add(1.0, 4.0)
+        v.add(2.0, -3.0)
+        v.add(3.0, 10.0)
+        assert v.peak == 11.0
+
+    def test_initial_value(self):
+        v = TimeWeightedValue(initial=5.0)
+        assert v.integral(2.0) == pytest.approx(10.0)
+
+    def test_time_going_backwards_rejected(self):
+        v = TimeWeightedValue()
+        v.set(5.0, 1.0)
+        with pytest.raises(ValueError):
+            v.set(4.0, 2.0)
+
+    def test_integral_before_last_update_rejected(self):
+        v = TimeWeightedValue()
+        v.set(5.0, 1.0)
+        with pytest.raises(ValueError):
+            v.integral(4.0)
+
+    def test_mean_of_zero_horizon(self):
+        v = TimeWeightedValue()
+        assert v.mean(0.0) == 0.0
+
+
+class TestSimulationReport:
+    def test_derived_rates(self):
+        r = SimulationReport(
+            policy_name="p",
+            horizon=100.0,
+            utility_time=500.0,
+            offered=10,
+            admitted=4,
+        )
+        assert r.acceptance_rate == pytest.approx(0.4)
+        assert r.mean_utility_rate == pytest.approx(5.0)
+
+    def test_zero_offered(self):
+        r = SimulationReport(policy_name="p", horizon=10.0)
+        assert r.acceptance_rate == 0.0
+
+    def test_summary_row_shape(self):
+        r = SimulationReport(policy_name="p", horizon=10.0)
+        r.peak_server_utilization[0] = 0.7
+        row = r.summary_row()
+        assert row[0] == "p"
+        assert row[-1] == 0.7

@@ -1,0 +1,134 @@
+"""Tests for the online admission policies (repro.sim.policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.policies import (
+    AllocatePolicy,
+    DensityPolicy,
+    RandomPolicy,
+    ResourceView,
+    ThresholdPolicy,
+)
+
+
+@pytest.fixture
+def workload():
+    return iptv_neighborhood_workload(num_channels=12, num_households=6, seed=31)
+
+
+class TestResourceView:
+    def test_initially_everything_fits(self, workload):
+        view = ResourceView(workload)
+        for sid in workload.stream_ids():
+            assert view.fits_server(sid)
+
+    def test_server_fit_reflects_usage(self, workload):
+        view = ResourceView(workload)
+        view.server_used[0] = workload.budgets[0]  # full
+        sid = workload.stream_ids()[0]
+        assert not view.fits_server(sid)
+
+    def test_user_fit_reflects_usage(self, workload):
+        view = ResourceView(workload)
+        user = workload.users[0]
+        sid = next(iter(user.utilities))
+        view.user_used[user.user_id][0] = user.capacities[0]
+        assert not view.fits_user(user.user_id, sid)
+
+    def test_interested_users(self, workload):
+        view = ResourceView(workload)
+        sid = workload.stream_ids()[0]
+        expected = {u.user_id for u in workload.users if sid in u.utilities}
+        assert set(view.interested_users(sid)) == expected
+
+
+class TestThresholdPolicy:
+    def test_delivers_to_interested_fitting_users(self, workload):
+        policy = ThresholdPolicy()
+        policy.bind(workload)
+        view = ResourceView(workload)
+        sid = workload.stream_ids()[0]
+        receivers = policy.on_offer(sid, view)
+        assert set(receivers) <= set(view.interested_users(sid))
+
+    def test_margin_rejects_when_tight(self, workload):
+        policy = ThresholdPolicy(margin=0.01)
+        policy.bind(workload)
+        view = ResourceView(workload)
+        view.server_used[0] = 0.02 * workload.budgets[0]
+        rejected = [
+            sid for sid in workload.stream_ids() if not policy.on_offer(sid, view)
+        ]
+        assert rejected  # nothing fits under a 1% margin with 2% used
+
+
+class TestAllocatePolicy:
+    def test_requires_bind(self, workload):
+        policy = AllocatePolicy()
+        view = ResourceView(workload)
+        with pytest.raises(AssertionError):
+            policy.on_offer(workload.stream_ids()[0], view)
+
+    def test_offer_release_cycle(self, workload):
+        policy = AllocatePolicy()
+        policy.bind(workload)
+        view = ResourceView(workload)
+        admitted = None
+        for sid in workload.stream_ids():
+            if policy.on_offer(sid, view):
+                admitted = sid
+                break
+        if admitted is not None:
+            policy.on_release(admitted)
+            # Releasing allows re-offering the same stream.
+            policy.on_offer(admitted, view)
+
+    def test_name_includes_mu(self, workload):
+        policy = AllocatePolicy()
+        policy.bind(workload)
+        assert "mu=" in policy.name
+
+
+class TestDensityPolicy:
+    def test_quantile_validated(self):
+        with pytest.raises(ValueError):
+            DensityPolicy(quantile=1.5)
+
+    def test_low_density_streams_rejected(self, workload):
+        policy = DensityPolicy(quantile=0.99)  # only the very best passes
+        policy.bind(workload)
+        view = ResourceView(workload)
+        decisions = [policy.on_offer(sid, view) for sid in workload.stream_ids()]
+        rejected = sum(1 for d in decisions if not d)
+        assert rejected >= len(decisions) - 2
+
+    def test_quantile_zero_accepts_everything_fitting(self, workload):
+        policy = DensityPolicy(quantile=0.0)
+        policy.bind(workload)
+        view = ResourceView(workload)
+        sid = workload.stream_ids()[0]
+        assert policy.on_offer(sid, view) == [
+            uid
+            for uid in view.interested_users(sid)
+            if view.fits_user(uid, sid)
+        ]
+
+
+class TestRandomPolicy:
+    def test_p_zero_rejects_all(self, workload):
+        policy = RandomPolicy(p=0.0, seed=1)
+        policy.bind(workload)
+        view = ResourceView(workload)
+        assert all(
+            not policy.on_offer(sid, view) for sid in workload.stream_ids()
+        )
+
+    def test_p_one_accepts_fitting(self, workload):
+        policy = RandomPolicy(p=1.0, seed=1)
+        policy.bind(workload)
+        view = ResourceView(workload)
+        sid = workload.stream_ids()[0]
+        assert policy.on_offer(sid, view)

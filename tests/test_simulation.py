@@ -1,0 +1,122 @@
+"""Tests for the video-distribution simulator (repro.sim.simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.policies import AllocatePolicy, RandomPolicy, ThresholdPolicy
+from repro.sim.simulation import (
+    ArrivalModel,
+    VideoDistributionSim,
+    compare_policies,
+    draw_trace,
+)
+
+
+@pytest.fixture
+def workload():
+    return iptv_neighborhood_workload(num_channels=10, num_households=5, seed=47)
+
+
+MODEL = ArrivalModel(rate=1.5, mean_duration=8.0)
+
+
+class TestTrace:
+    def test_trace_is_sorted_and_bounded(self, workload):
+        trace = draw_trace(workload, MODEL, horizon=100.0, seed=1)
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert all(0 < t <= 100.0 for t in times)
+        assert all(e.duration > 0 for e in trace)
+
+    def test_trace_deterministic(self, workload):
+        a = draw_trace(workload, MODEL, horizon=50.0, seed=2)
+        b = draw_trace(workload, MODEL, horizon=50.0, seed=2)
+        assert a == b
+
+    def test_popularity_skews_stream_choice(self, workload):
+        model = ArrivalModel(rate=5.0, mean_duration=1.0, popularity_exponent=2.0)
+        trace = draw_trace(workload, model, horizon=400.0, seed=3)
+        counts: dict[str, int] = {}
+        for e in trace:
+            counts[e.stream_id] = counts.get(e.stream_id, 0) + 1
+        first = workload.stream_ids()[0]
+        last = workload.stream_ids()[-1]
+        assert counts.get(first, 0) > counts.get(last, 0)
+
+
+class TestSimulatorInvariants:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [ThresholdPolicy, AllocatePolicy, lambda: RandomPolicy(0.7, seed=9)],
+    )
+    def test_loads_never_exceed_budgets(self, workload, policy_factory):
+        sim = VideoDistributionSim(workload, policy_factory())
+        report = sim.run(horizon=150.0, model=MODEL, seed=11)
+        for peak in report.peak_server_utilization.values():
+            assert peak <= 1.0 + 1e-9
+
+    def test_no_violations_for_wellbehaved_policies(self, workload):
+        sim = VideoDistributionSim(workload, ThresholdPolicy())
+        sim.run(horizon=150.0, model=MODEL, seed=13)
+        assert sim.policy_violations == 0
+
+    def test_resources_conserved_after_drain(self, workload):
+        """After all departures fire, usage returns to zero."""
+        sim = VideoDistributionSim(workload, ThresholdPolicy())
+        trace = draw_trace(workload, MODEL, horizon=50.0, seed=17)
+        # Run far past the horizon so every departure has fired.
+        for event in trace:
+            sim.engine.schedule_at(event.time, lambda e=event: sim._on_arrival(e))
+        sim.engine.run()
+        assert all(v == pytest.approx(0.0, abs=1e-9) for v in sim.view.server_used)
+        for loads in sim.view.user_used.values():
+            assert all(v == pytest.approx(0.0, abs=1e-9) for v in loads)
+        assert not sim.view.active_streams
+
+    def test_utility_time_consistency(self, workload):
+        """utility_time equals admitted sessions' (rate × overlap) sum;
+        check the weaker invariant 0 <= utility_time and admitted <= offered."""
+        sim = VideoDistributionSim(workload, ThresholdPolicy())
+        report = sim.run(horizon=100.0, model=MODEL, seed=19)
+        assert report.utility_time >= 0.0
+        assert report.admitted <= report.offered
+        if report.admitted:
+            assert report.utility_time > 0.0
+
+    def test_duplicate_arrivals_for_active_stream_skipped(self, workload):
+        from repro.sim.simulation import SessionEvent
+
+        sim = VideoDistributionSim(workload, ThresholdPolicy())
+        sid = workload.stream_ids()[0]
+        events = [
+            SessionEvent(time=1.0, stream_id=sid, duration=50.0),
+            SessionEvent(time=2.0, stream_id=sid, duration=50.0),
+        ]
+        sim.run_trace(events, horizon=10.0)
+        assert sim.offered == 1  # the second proposal was a no-op
+
+
+class TestComparePolicies:
+    def test_common_trace_reports(self, workload):
+        reports = compare_policies(
+            workload,
+            [ThresholdPolicy(), AllocatePolicy()],
+            horizon=120.0,
+            model=MODEL,
+            seed=23,
+        )
+        assert len(reports) == 2
+        assert reports[0].policy_name.startswith("threshold")
+        assert reports[1].policy_name.startswith("allocate")
+        assert all(r.horizon == 120.0 for r in reports)
+
+    def test_reports_reproducible(self, workload):
+        first = compare_policies(
+            workload, [ThresholdPolicy()], horizon=80.0, model=MODEL, seed=29
+        )
+        second = compare_policies(
+            workload, [ThresholdPolicy()], horizon=80.0, model=MODEL, seed=29
+        )
+        assert first[0].utility_time == pytest.approx(second[0].utility_time)

@@ -1,0 +1,157 @@
+"""Tests for §3: classify-and-select over skew classes (Theorem 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.greedy import FEASIBLE_FACTOR
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.optimal import solve_exact_milp
+from repro.core.skew import (
+    FREE_CLASS,
+    classify_and_select,
+    classify_by_skew,
+    num_skew_classes,
+    skew_bound,
+)
+from repro.exceptions import ValidationError
+from tests.conftest import skewed_ensemble
+
+
+class TestClassCount:
+    def test_num_skew_classes(self):
+        assert num_skew_classes(1.0) == 1
+        assert num_skew_classes(2.0) == 2
+        assert num_skew_classes(3.9) == 2
+        assert num_skew_classes(4.0) == 3
+        assert num_skew_classes(256.0) == 9
+
+    def test_skew_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            num_skew_classes(0.5)
+
+    def test_skew_bound_formula(self):
+        # 2 · t · ρ
+        assert skew_bound(4.0, FEASIBLE_FACTOR) == pytest.approx(
+            2 * 3 * FEASIBLE_FACTOR
+        )
+
+
+class TestClassification:
+    def test_requires_infinite_caps(self, tiny_instance):
+        with pytest.raises(ValidationError, match="infinite utility caps"):
+            classify_by_skew(tiny_instance)
+
+    def test_requires_single_budget(self, multi_budget_instance):
+        with pytest.raises(ValidationError):
+            classify_by_skew(multi_budget_instance)
+
+    def test_partition_property(self, capacity_instance):
+        """Every (user, stream) positive-utility pair lands in exactly one class."""
+        classes = classify_by_skew(capacity_instance)
+        seen: dict[tuple, int] = {}
+        for cls in classes:
+            for pair in cls.pairs:
+                seen[pair] = seen.get(pair, 0) + 1
+        expected = {
+            (u.user_id, sid)
+            for u in capacity_instance.users
+            for sid in u.utilities
+        }
+        assert set(seen) == expected
+        assert all(count == 1 for count in seen.values())
+
+    def test_each_class_is_unit_skew(self, capacity_instance):
+        for cls in classify_by_skew(capacity_instance):
+            if cls.index == FREE_CLASS:
+                continue
+            assert cls.instance.is_unit_skew()
+
+    def test_class_ratio_spread_at_most_two(self, capacity_instance):
+        """Within class i, original ratios span at most a factor 2 + fuzz."""
+        for cls in classify_by_skew(capacity_instance):
+            if cls.index == FREE_CLASS:
+                continue
+            ratios = []
+            for uid, sid in cls.pairs:
+                user = capacity_instance.user(uid)
+                load = user.load(sid, 0)
+                ratios.append(user.utilities[sid] / load)
+            # Per-user normalization can place different users' ratios in
+            # the same class; compare within each user.
+            by_user: dict[str, list[float]] = {}
+            for (uid, _sid), r in zip(cls.pairs, ratios):
+                by_user.setdefault(uid, []).append(r)
+            for user_ratios in by_user.values():
+                assert max(user_ratios) <= 2.0 * min(user_ratios) * (1 + 1e-9)
+
+    def test_free_class_collects_zero_load_pairs(self):
+        streams = [Stream("s1", (1.0,)), Stream("s2", (1.0,))]
+        users = [
+            User(
+                "u",
+                math.inf,
+                (5.0,),
+                utilities={"s1": 3.0, "s2": 2.0},
+                loads={"s1": (0.0,), "s2": (1.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (2.0,))
+        classes = classify_by_skew(inst)
+        free = [c for c in classes if c.index == FREE_CLASS]
+        assert len(free) == 1
+        assert free[0].pairs == [("u", "s1")]
+        # Free class keeps the original utility.
+        assert free[0].instance.user("u").utility("s1") == 3.0
+
+    def test_unit_skew_input_yields_single_class(self):
+        streams = [Stream("s1", (1.0,)), Stream("s2", (1.0,))]
+        users = [
+            User(
+                "u",
+                math.inf,
+                (5.0,),
+                utilities={"s1": 3.0, "s2": 2.0},
+                loads={"s1": (3.0,), "s2": (2.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (2.0,))
+        classes = classify_by_skew(inst)
+        assert len(classes) == 1
+        assert classes[0].index == 1
+
+
+class TestClassifyAndSelect:
+    def test_feasible_on_skewed_ensemble(self):
+        for inst in skewed_ensemble(count=8, skew=16.0, seed=55):
+            a = classify_and_select(inst)
+            assert a.is_feasible(), a.violated_constraints()
+
+    def test_theorem_31_bound(self):
+        """OPT / achieved <= 2 · t · ρ on skewed instances."""
+        for inst in skewed_ensemble(count=8, skew=8.0, seed=61):
+            opt = solve_exact_milp(inst).utility
+            a = classify_and_select(inst)
+            if opt == 0:
+                continue
+            alpha = max(inst.local_skew(), 1.0)
+            classes = num_skew_classes(alpha) + (1 if inst.has_free_pairs() else 0)
+            bound = 2.0 * classes * FEASIBLE_FACTOR
+            ratio = opt / max(a.utility(), 1e-12)
+            assert ratio <= bound + 1e-9, f"ratio {ratio} > bound {bound}"
+
+    def test_custom_class_solver(self, capacity_instance):
+        from repro.core.enumeration import partial_enumeration_feasible
+
+        a = classify_and_select(
+            capacity_instance,
+            solve_class=lambda inst: partial_enumeration_feasible(inst, depth=2),
+        )
+        assert a.is_feasible()
+
+    def test_empty_instance(self):
+        inst = MMDInstance([], [], (5.0,))
+        a = classify_and_select(inst)
+        assert a.utility() == 0.0

@@ -1,0 +1,147 @@
+"""Tests for the end-to-end solvers (repro.core.solver)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.optimal import solve_exact_milp
+from repro.core.solver import (
+    best_single_stream_mmd,
+    section2_view,
+    solve_mmd,
+    solve_smd,
+    theorem_1_1_bound,
+)
+from repro.exceptions import ValidationError
+from tests.conftest import mmd_ensemble, skewed_ensemble, unit_skew_ensemble
+
+
+class TestSection2View:
+    def test_requires_unit_skew(self, capacity_instance):
+        with pytest.raises(ValidationError, match="unit local skew"):
+            section2_view(capacity_instance)
+
+    def test_effective_bound_is_min(self):
+        # Ratio r=2 (w=2k), K=3 -> r·K = 6; W=4 -> bound 4.
+        streams = [Stream("s", (1.0,))]
+        users = [
+            User("u", 4.0, (3.0,), utilities={"s": 2.0}, loads={"s": (1.0,)})
+        ]
+        inst = MMDInstance(streams, users, (1.0,))
+        view = section2_view(inst)
+        assert view.user("u").utility_cap == pytest.approx(4.0)
+        users2 = [
+            User("u", 10.0, (3.0,), utilities={"s": 2.0}, loads={"s": (1.0,)})
+        ]
+        inst2 = MMDInstance(streams, users2, (1.0,))
+        view2 = section2_view(inst2)
+        assert view2.user("u").utility_cap == pytest.approx(6.0)
+
+
+class TestSolveSmd:
+    def test_rejects_multi_budget(self, multi_budget_instance):
+        with pytest.raises(ValidationError):
+            solve_smd(multi_budget_instance)
+
+    def test_unit_skew_path(self, tiny_instance):
+        result = solve_smd(tiny_instance)
+        assert result.method == "greedy"
+        assert result.assignment.is_feasible()
+        assert result.guarantee == pytest.approx(3 * math.e / (math.e - 1))
+
+    def test_classify_path(self, capacity_instance):
+        result = solve_smd(capacity_instance)
+        assert result.method == "classify+greedy"
+        assert result.assignment.is_feasible()
+        assert "skew_classes" in result.details
+
+    def test_enumeration_method(self, tiny_instance):
+        result = solve_smd(tiny_instance, method="enumeration")
+        assert result.method == "enumeration"
+        assert result.assignment.is_feasible()
+
+    def test_guarantee_holds_on_ensembles(self):
+        for inst in unit_skew_ensemble(count=8, seed=710):
+            result = solve_smd(inst)
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            assert opt / max(result.utility, 1e-12) <= result.guarantee + 1e-9
+
+    def test_guarantee_holds_on_skewed(self):
+        for inst in skewed_ensemble(count=6, skew=16.0, seed=720):
+            result = solve_smd(inst)
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            assert opt / max(result.utility, 1e-12) <= result.guarantee + 1e-9
+
+
+class TestSolveMmd:
+    def test_feasible_on_ensembles(self):
+        for inst in mmd_ensemble(count=6, m=2, mc=2, seed=730):
+            result = solve_mmd(inst)
+            assert result.assignment.is_feasible(), result.method
+            assert result.utility == pytest.approx(result.assignment.utility())
+
+    def test_candidates_recorded(self, multi_budget_instance):
+        result = solve_mmd(multi_budget_instance)
+        utilities = result.details["candidate_utilities"]
+        assert "best-single-stream" in utilities
+        assert result.utility == pytest.approx(max(utilities.values()))
+
+    def test_finite_caps_converted(self, tiny_instance):
+        # tiny_instance has finite W_u; solve_mmd must handle it.
+        result = solve_mmd(tiny_instance)
+        assert result.assignment.is_feasible()
+        assert result.utility > 0
+
+    def test_smd_shortcut(self, capacity_instance):
+        result = solve_mmd(capacity_instance)
+        assert result.assignment.is_feasible()
+
+    def test_allocate_candidate_when_small(self):
+        from repro.instances.generators import small_streams_mmd
+
+        inst = small_streams_mmd(14, 4, seed=41)
+        result = solve_mmd(inst)
+        assert "allocate_mu" in result.details
+        assert result.assignment.is_feasible()
+
+    def test_allocate_disabled(self):
+        from repro.instances.generators import small_streams_mmd
+
+        inst = small_streams_mmd(14, 4, seed=41)
+        result = solve_mmd(inst, try_allocate=False)
+        assert "allocate_mu" not in result.details
+
+
+class TestBestSingleStreamMmd:
+    def test_always_feasible(self):
+        for inst in mmd_ensemble(count=4, m=3, mc=2, seed=750):
+            a = best_single_stream_mmd(inst)
+            assert a.is_feasible()
+            assert len(a.assigned_streams()) <= 1
+
+    def test_empty_instance(self):
+        inst = MMDInstance([], [], (1.0,))
+        assert best_single_stream_mmd(inst).is_empty()
+
+
+class TestTheoremBound:
+    def test_bound_is_finite_and_grows_with_m(self):
+        small = mmd_ensemble(count=1, m=1, mc=1, seed=761)[0]
+        large = mmd_ensemble(count=1, m=4, mc=1, seed=761)[0]
+        assert theorem_1_1_bound(small) < theorem_1_1_bound(large)
+
+    def test_bound_dominates_measured_ratio(self):
+        for inst in mmd_ensemble(count=4, m=2, mc=1, seed=770):
+            result = solve_mmd(inst)
+            opt = solve_exact_milp(inst).utility
+            if opt == 0:
+                continue
+            ratio = opt / max(result.utility, 1e-12)
+            assert ratio <= theorem_1_1_bound(inst) + 1e-9

@@ -1,0 +1,123 @@
+"""Focused tests for the greedy-fill refinement (repro.core.solver)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.skew import classify_and_select
+from repro.core.solver import greedy_fill
+from tests.conftest import mmd_ensemble, skewed_ensemble
+
+
+class TestMonotonicity:
+    def test_never_decreases_utility(self):
+        for inst in skewed_ensemble(count=6, skew=16.0, seed=941):
+            base = classify_and_select(inst)
+            filled = greedy_fill(inst, base)
+            assert filled.utility() >= base.utility() - 1e-9
+
+    def test_preserves_existing_deliveries(self):
+        for inst in skewed_ensemble(count=4, skew=8.0, seed=951):
+            base = classify_and_select(inst)
+            filled = greedy_fill(inst, base)
+            for uid in inst.user_ids():
+                assert base.streams_of(uid) <= filled.streams_of(uid)
+
+    def test_output_feasible(self):
+        for inst in mmd_ensemble(count=5, m=2, mc=2, seed=961):
+            filled = greedy_fill(inst, Assignment(inst))
+            assert filled.is_feasible(), filled.violated_constraints()
+
+
+class TestFillMechanics:
+    def test_fills_from_empty(self, tiny_instance):
+        filled = greedy_fill(tiny_instance, Assignment(tiny_instance))
+        assert filled.utility() > 0
+        assert filled.is_feasible()
+
+    def test_respects_utility_caps(self):
+        # A saturated user must not receive more streams: the marginal is 0
+        # and the capacity would be wasted.
+        streams = [Stream("s1", (1.0,)), Stream("s2", (1.0,))]
+        users = [
+            User(
+                "u",
+                5.0,
+                (10.0,),
+                utilities={"s1": 5.0, "s2": 4.0},
+                loads={"s1": (3.0,), "s2": (3.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (10.0,))
+        base = Assignment(inst, {"u": ["s1"]})  # raw = 5 = cap
+        filled = greedy_fill(inst, base)
+        assert filled.streams_of("u") == frozenset({"s1"})
+
+    def test_adds_receivers_to_carried_streams_for_free(self):
+        # Stream already transmitted for u1; adding u2 costs no server
+        # budget, so fill must always claim it.
+        streams = [Stream("s", (10.0,))]
+        users = [
+            User("u1", math.inf, (math.inf,), utilities={"s": 1.0}, loads={"s": (0.0,)}),
+            User("u2", math.inf, (math.inf,), utilities={"s": 9.0}, loads={"s": (0.0,)}),
+        ]
+        inst = MMDInstance(streams, users, (10.0,))
+        base = Assignment(inst, {"u1": ["s"]})
+        filled = greedy_fill(inst, base)
+        assert "s" in filled.streams_of("u2")
+
+    def test_density_order_prefers_efficient_streams(self):
+        # Two streams fit only one at a time: fill must pick the denser.
+        streams = [Stream("cheap", (2.0,)), Stream("dear", (9.0,))]
+        users = [
+            User(
+                "u",
+                math.inf,
+                (math.inf,),
+                utilities={"cheap": 6.0, "dear": 7.0},
+                loads={"cheap": (0.0,), "dear": (0.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (10.0,))
+        filled = greedy_fill(inst, Assignment(inst))
+        # density cheap = 6/(2/10) = 30, dear = 7/(9/10) ≈ 7.8 -> cheap first;
+        # dear no longer fits.
+        assert filled.streams_of("u") == frozenset({"cheap"})
+
+    def test_zero_cost_streams_always_claimed(self):
+        streams = [Stream("free", (0.0,)), Stream("paid", (5.0,))]
+        users = [
+            User(
+                "u",
+                math.inf,
+                (math.inf,),
+                utilities={"free": 1.0, "paid": 3.0},
+                loads={"free": (0.0,), "paid": (0.0,)},
+            )
+        ]
+        inst = MMDInstance(streams, users, (5.0,))
+        filled = greedy_fill(inst, Assignment(inst))
+        assert filled.streams_of("u") == frozenset({"free", "paid"})
+
+    def test_capacity_blocks_fill(self):
+        streams = [Stream("s", (1.0,))]
+        users = [
+            User("u", math.inf, (2.0,), utilities={"s": 5.0}, loads={"s": (2.0,)}),
+        ]
+        inst = MMDInstance(streams, users, (10.0,))
+        base = Assignment(inst)
+        # Consume the user's capacity by hand, then fill must not add s.
+        # (Simulate by a user already holding a phantom load via the cap.)
+        filled = greedy_fill(inst, base)
+        assert filled.streams_of("u") == frozenset({"s"})  # exactly fits
+        # Tighter capacity: now it cannot fit.
+        users2 = [
+            User("u", math.inf, (1.9,), utilities={}, loads={}),
+        ]
+        inst2 = MMDInstance(streams, users2, (10.0,))
+        filled2 = greedy_fill(inst2, Assignment(inst2))
+        assert filled2.is_empty()

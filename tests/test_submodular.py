@@ -1,0 +1,173 @@
+"""Tests for the generic submodular machinery (repro.core.submodular)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.submodular import (
+    best_singleton,
+    greedy_or_best_singleton,
+    greedy_submodular,
+    lazy_greedy_submodular,
+    multi_budget_submodular,
+    partial_enumeration_submodular,
+)
+from repro.exceptions import ValidationError
+
+
+def coverage_fn(universe_of):
+    """Weighted coverage set function from item -> covered elements."""
+
+    def fn(selected: frozenset) -> float:
+        covered = set()
+        for item in selected:
+            covered |= set(universe_of[item])
+        return float(len(covered))
+
+    return fn
+
+
+SETS = {
+    "a": ["e1", "e2", "e3"],
+    "b": ["e3", "e4"],
+    "c": ["e5"],
+    "d": ["e1", "e2", "e3", "e4", "e5", "e6"],
+}
+
+
+class TestGreedy:
+    def test_simple_coverage(self):
+        fn = coverage_fn(SETS)
+        costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 10.0}
+        chosen = greedy_submodular(fn, list(SETS), costs, budget=3.0)
+        assert fn(chosen) == 5.0  # a + b + c
+
+    def test_budget_zero(self):
+        fn = coverage_fn(SETS)
+        costs = {k: 1.0 for k in SETS}
+        assert greedy_submodular(fn, list(SETS), costs, budget=0.0) == frozenset()
+
+    def test_negative_cost_rejected(self):
+        fn = coverage_fn(SETS)
+        with pytest.raises(ValidationError):
+            greedy_submodular(fn, ["a"], {"a": -1.0}, budget=1.0)
+
+    def test_lazy_matches_eager_value(self):
+        fn = coverage_fn(SETS)
+        costs = {"a": 2.0, "b": 1.5, "c": 0.5, "d": 5.0}
+        for budget in (1.0, 2.0, 4.0, 8.0):
+            eager = fn(greedy_submodular(fn, list(SETS), costs, budget))
+            lazy = fn(lazy_greedy_submodular(fn, list(SETS), costs, budget))
+            assert lazy == pytest.approx(eager)
+
+    def test_lazy_fewer_evaluations(self):
+        # On a larger ground set the lazy variant must not evaluate more.
+        items = {f"x{i}": [f"e{j}" for j in range(i, i + 5)] for i in range(30)}
+        fn = coverage_fn(items)
+        costs = {k: 1.0 + (i % 3) for i, k in enumerate(items)}
+        from repro.core.submodular import _Memo
+
+        eager_memo = _Memo(fn)
+        greedy_submodular(eager_memo, list(items), costs, budget=10.0)
+        lazy_memo = _Memo(fn)
+        lazy_greedy_submodular(lazy_memo, list(items), costs, budget=10.0)
+        assert lazy_memo.evaluations <= eager_memo.evaluations
+
+
+class TestSingletonFix:
+    def test_best_singleton(self):
+        fn = coverage_fn(SETS)
+        costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 2.0}
+        assert best_singleton(fn, list(SETS), costs, budget=2.0) == frozenset({"d"})
+
+    def test_fix_beats_plain_greedy_on_blocking(self):
+        # Greedy takes the dense small item and blocks the big one.
+        fn = lambda s: 2.0 * ("tiny" in s) + 15.0 * ("huge" in s)
+        costs = {"tiny": 1.0, "huge": 10.0}
+        plain = greedy_submodular(fn, ["tiny", "huge"], costs, budget=10.0)
+        fixed = greedy_or_best_singleton(fn, ["tiny", "huge"], costs, budget=10.0)
+        assert fn(plain) == 2.0
+        assert fn(fixed) == 15.0
+
+
+class TestPartialEnumeration:
+    def test_at_least_greedy(self):
+        fn = coverage_fn(SETS)
+        costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 2.5}
+        g = fn(greedy_or_best_singleton(fn, list(SETS), costs, budget=3.0))
+        p = fn(partial_enumeration_submodular(fn, list(SETS), costs, budget=3.0, depth=2))
+        assert p >= g
+
+    def test_exact_on_tiny(self):
+        fn = coverage_fn(SETS)
+        costs = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 2.5}
+        p = partial_enumeration_submodular(fn, list(SETS), costs, budget=3.5, depth=3)
+        assert fn(p) == 6.0  # d + c covers all six elements
+
+
+class TestMultiBudget:
+    def test_feasible_in_every_budget(self):
+        fn = coverage_fn(SETS)
+        vectors = {
+            "a": (1.0, 3.0),
+            "b": (2.0, 1.0),
+            "c": (1.0, 1.0),
+            "d": (3.0, 3.0),
+        }
+        budgets = (3.0, 3.0)
+        chosen = multi_budget_submodular(fn, list(SETS), vectors, budgets, depth=2)
+        for i, b in enumerate(budgets):
+            assert sum(vectors[item][i] for item in chosen) <= b + 1e-9
+
+    def test_single_item_budget_violation_rejected(self):
+        fn = coverage_fn(SETS)
+        vectors = {k: (5.0,) for k in SETS}
+        with pytest.raises(ValidationError, match="exceeds budget"):
+            multi_budget_submodular(fn, list(SETS), vectors, (1.0,))
+
+    def test_nonpositive_budget_rejected(self):
+        fn = coverage_fn(SETS)
+        vectors = {k: (1.0,) for k in SETS}
+        with pytest.raises(ValidationError):
+            multi_budget_submodular(fn, list(SETS), vectors, (0.0,))
+
+    def test_infinite_budgets_ignored(self):
+        fn = coverage_fn(SETS)
+        vectors = {
+            "a": (1.0, 99.0),
+            "b": (1.0, 99.0),
+            "c": (1.0, 99.0),
+            "d": (2.0, 99.0),
+        }
+        chosen = multi_budget_submodular(
+            fn, list(SETS), vectors, (3.0, math.inf), depth=1
+        )
+        assert fn(chosen) > 0
+
+    def test_o_m_loss_measured(self):
+        """On a small family the multi-budget reduction loses at most
+        ~(2m-1)·e/(e-1) vs the exhaustive optimum."""
+        import itertools
+
+        fn = coverage_fn(SETS)
+        vectors = {
+            "a": (1.0, 2.0),
+            "b": (2.0, 1.0),
+            "c": (0.5, 0.5),
+            "d": (2.5, 2.5),
+        }
+        budgets = (3.0, 3.0)
+        best = 0.0
+        for r in range(len(SETS) + 1):
+            for combo in itertools.combinations(SETS, r):
+                if all(
+                    sum(vectors[i][j] for i in combo) <= budgets[j]
+                    for j in range(2)
+                ):
+                    best = max(best, fn(frozenset(combo)))
+        chosen = multi_budget_submodular(fn, list(SETS), vectors, budgets, depth=3)
+        m = 2
+        bound = (2 * m - 1) * math.e / (math.e - 1)
+        assert best / max(fn(chosen), 1e-12) <= bound + 1e-9

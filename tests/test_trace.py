@@ -1,0 +1,81 @@
+"""Tests for trace persistence (repro.sim.trace) and fairness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.metrics import SimulationReport
+from repro.sim.simulation import ArrivalModel, SessionEvent, VideoDistributionSim, draw_trace
+from repro.sim.policies import ThresholdPolicy
+from repro.sim.trace import load_trace, save_trace, trace_from_json, trace_to_json
+
+
+class TestTraceSerialization:
+    def test_round_trip(self):
+        inst = iptv_neighborhood_workload(num_channels=8, num_households=3, seed=1)
+        trace = draw_trace(inst, ArrivalModel(rate=2.0), horizon=30.0, seed=2)
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_file_round_trip(self, tmp_path):
+        inst = iptv_neighborhood_workload(num_channels=8, num_households=3, seed=3)
+        trace = draw_trace(inst, ArrivalModel(rate=2.0), horizon=30.0, seed=4)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError, match="invalid trace JSON"):
+            trace_from_json("{not json")
+
+    def test_decreasing_times_rejected(self):
+        text = trace_to_json(
+            [
+                SessionEvent(time=5.0, stream_id="a", duration=1.0),
+                SessionEvent(time=3.0, stream_id="b", duration=1.0),
+            ]
+        )
+        with pytest.raises(ValidationError, match="nondecreasing"):
+            trace_from_json(text)
+
+    def test_nonpositive_duration_rejected(self):
+        text = '[{"time": 1.0, "stream_id": "a", "duration": 0.0}]'
+        with pytest.raises(ValidationError, match="positive"):
+            trace_from_json(text)
+
+    def test_replay_reproduces_report(self):
+        """A saved trace replayed later yields the identical report."""
+        inst = iptv_neighborhood_workload(num_channels=10, num_households=4, seed=5)
+        trace = draw_trace(inst, ArrivalModel(rate=2.0), horizon=60.0, seed=6)
+        restored = trace_from_json(trace_to_json(trace))
+        first = VideoDistributionSim(inst, ThresholdPolicy()).run_trace(trace, 60.0)
+        second = VideoDistributionSim(inst, ThresholdPolicy()).run_trace(restored, 60.0)
+        assert first.utility_time == pytest.approx(second.utility_time)
+        assert first.per_user_utility == second.per_user_utility
+
+
+class TestFairness:
+    def test_jain_perfectly_even(self):
+        report = SimulationReport(policy_name="p", horizon=1.0)
+        report.per_user_utility = {"a": 5.0, "b": 5.0, "c": 5.0}
+        assert report.jain_fairness == pytest.approx(1.0)
+
+    def test_jain_single_winner(self):
+        report = SimulationReport(policy_name="p", horizon=1.0)
+        report.per_user_utility = {"a": 9.0, "b": 0.0, "c": 0.0}
+        assert report.jain_fairness == pytest.approx(1.0 / 3.0)
+
+    def test_jain_empty_defaults_to_one(self):
+        report = SimulationReport(policy_name="p", horizon=1.0)
+        assert report.jain_fairness == 1.0
+
+    def test_simulation_populates_per_user(self):
+        inst = iptv_neighborhood_workload(num_channels=10, num_households=4, seed=7)
+        sim = VideoDistributionSim(inst, ThresholdPolicy())
+        report = sim.run(horizon=80.0, model=ArrivalModel(rate=2.0), seed=8)
+        assert set(report.per_user_utility) == set(inst.user_ids())
+        assert sum(report.per_user_utility.values()) == pytest.approx(
+            report.utility_time
+        )
+        assert 0.0 < report.jain_fairness <= 1.0

@@ -1,0 +1,143 @@
+"""Tests for the util helpers (rng, tables, timing, validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.tables import Table, format_markdown_table
+from repro.util.timing import Timer, fit_loglog_slope
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_unique,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(5)
+        b = ensure_rng(5)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [c.integers(0, 10**6) for c in spawn_rngs(7, 2)]
+        b = [c.integers(0, 10**6) for c in spawn_rngs(7, 2)]
+        assert a == b
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add_row(["a", 1.5])
+        t.add_row(["longer", 0.25])
+        text = t.render()
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_markdown_shape(self):
+        md = format_markdown_table(["x"], [[1], [2]], title="T")
+        assert md.startswith("**T**")
+        assert md.count("|") >= 6
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([float("inf")])
+        t.add_row([float("nan")])
+        t.add_row([123456.0])
+        text = t.render()
+        assert "inf" in text and "nan" in text
+
+    def test_title_rendered(self):
+        t = Table(["a"], title="My title")
+        t.add_row([1])
+        assert t.render().startswith("My title")
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            sum(range(1000))
+        first = t.elapsed
+        with t:
+            sum(range(1000))
+        assert t.elapsed > first
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_loglog_slope_of_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        times = [s**2 * 1e-6 for s in sizes]
+        assert fit_loglog_slope(sizes, times) == pytest.approx(2.0, abs=1e-6)
+
+    def test_loglog_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([1.0], [1.0])
+
+
+class TestValidation:
+    def test_check_finite(self):
+        assert check_finite("x", 1.5) == 1.5
+        with pytest.raises(ValidationError):
+            check_finite("x", float("nan"))
+        with pytest.raises(ValidationError):
+            check_finite("x", float("inf"))
+        assert check_finite("x", float("inf"), allow_inf=True) == float("inf")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValidationError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+    def test_check_unique(self):
+        check_unique("id", ["a", "b"])
+        with pytest.raises(ValidationError):
+            check_unique("id", ["a", "a"])

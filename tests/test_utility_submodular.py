@@ -1,0 +1,128 @@
+"""Lemma 2.1: the coverage utility is nonnegative, nondecreasing and
+submodular — verified both on hand instances and property-based."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import MMDInstance, Stream, User
+from repro.core.utility import CoverageUtility
+
+
+def _instance_from_blueprint(utilities, caps):
+    """Build an instance from {user: {stream: w}} and {user: cap}."""
+    stream_ids = sorted({sid for util in utilities.values() for sid in util})
+    streams = [Stream(sid, (1.0,)) for sid in stream_ids]
+    users = [
+        User(
+            user_id=uid,
+            utility_cap=caps[uid],
+            capacities=(math.inf,),
+            utilities={sid: w for sid, w in util.items() if w > 0},
+            loads={sid: (0.0,) for sid, w in util.items() if w > 0},
+        )
+        for uid, util in utilities.items()
+    ]
+    return MMDInstance(streams, users, (float(len(streams)) or 1.0,))
+
+
+# Hypothesis strategy: up to 4 users x 5 streams with bounded utilities.
+utilities_strategy = st.dictionaries(
+    keys=st.sampled_from(["u1", "u2", "u3", "u4"]),
+    values=st.dictionaries(
+        keys=st.sampled_from(["s1", "s2", "s3", "s4", "s5"]),
+        values=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        max_size=5,
+    ),
+    min_size=1,
+    max_size=4,
+)
+caps_strategy = st.floats(min_value=0.0, max_value=25.0)
+
+
+class TestHandValues:
+    def test_value_and_cap(self, tiny_instance):
+        w = CoverageUtility(tiny_instance)
+        assert w.value([]) == 0.0
+        assert w.value(["news"]) == 5.0  # 3 + 2
+        assert w.value(["news", "sports"]) == 12.0  # min(10,12) + 2
+        assert w.value(["news", "sports", "movies"]) == 16.0
+
+    def test_user_value(self, tiny_instance):
+        w = CoverageUtility(tiny_instance)
+        assert w.user_value("a", ["news", "sports"]) == 10.0
+        assert w.user_value("b", ["news", "sports"]) == 2.0
+
+    def test_marginal_matches_difference(self, tiny_instance):
+        w = CoverageUtility(tiny_instance)
+        base = ["news"]
+        for sid in ("sports", "movies"):
+            assert w.marginal(sid, base) == pytest.approx(
+                w.value(base + [sid]) - w.value(base)
+            )
+
+    def test_marginal_of_member_is_zero(self, tiny_instance):
+        w = CoverageUtility(tiny_instance)
+        assert w.marginal("news", ["news"]) == 0.0
+
+
+class TestLemma21Properties:
+    @given(utilities=utilities_strategy, cap=caps_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_submodularity(self, utilities, cap):
+        caps = {uid: cap for uid in utilities}
+        inst = _instance_from_blueprint(utilities, caps)
+        if inst.num_streams == 0:
+            return
+        w = CoverageUtility(inst)
+        sids = inst.stream_ids()
+        half = len(sids) // 2
+        T = frozenset(sids[: half + 1])
+        Tp = frozenset(sids[half:])
+        lhs = w.value(T) + w.value(Tp)
+        rhs = w.value(T | Tp) + w.value(T & Tp)
+        assert lhs >= rhs - 1e-9 * max(1.0, abs(rhs))
+
+    @given(utilities=utilities_strategy, cap=caps_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_nonnegative(self, utilities, cap):
+        caps = {uid: cap for uid in utilities}
+        inst = _instance_from_blueprint(utilities, caps)
+        w = CoverageUtility(inst)
+        sids = inst.stream_ids()
+        prev = 0.0
+        current: "list[str]" = []
+        for sid in sids:
+            current.append(sid)
+            value = w.value(current)
+            assert value >= prev - 1e-12
+            prev = value
+        assert w.value([]) == 0.0
+
+    @given(utilities=utilities_strategy, cap=caps_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_marginals_decrease(self, utilities, cap):
+        """Submodularity in marginal form: adding context never raises a
+        stream's marginal value."""
+        caps = {uid: cap for uid in utilities}
+        inst = _instance_from_blueprint(utilities, caps)
+        sids = inst.stream_ids()
+        if len(sids) < 2:
+            return
+        w = CoverageUtility(inst)
+        target = sids[0]
+        small: "frozenset[str]" = frozenset()
+        large = frozenset(sids[1:])
+        assert w.marginal(target, small) >= w.marginal(target, large) - 1e-9
+
+    def test_spot_checker(self, tiny_instance):
+        w = CoverageUtility(tiny_instance)
+        pairs = [
+            (frozenset({"news"}), frozenset({"sports"})),
+            (frozenset({"news", "movies"}), frozenset({"sports", "movies"})),
+        ]
+        assert w.is_submodular_on(pairs)

@@ -1,0 +1,66 @@
+"""Tests for the named workloads (repro.instances.workloads)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.allocate import small_streams_condition
+from repro.instances.workloads import (
+    cable_headend_workload,
+    iptv_neighborhood_workload,
+    small_streams_workload,
+)
+
+
+class TestCableHeadend:
+    def test_shape(self):
+        inst = cable_headend_workload(num_channels=20, num_gateways=3, seed=1)
+        assert inst.m == 3  # egress, processing, ports
+        assert inst.num_users == 3
+        assert inst.num_streams == 20
+
+    def test_budgets_are_tight(self):
+        inst = cable_headend_workload(num_channels=20, num_gateways=3, seed=2)
+        for i in range(inst.m):
+            total = sum(s.costs[i] for s in inst.streams)
+            assert inst.budgets[i] < total  # cannot carry everything
+
+    def test_deterministic(self):
+        a = cable_headend_workload(num_channels=15, num_gateways=2, seed=3)
+        b = cable_headend_workload(num_channels=15, num_gateways=2, seed=3)
+        assert a == b
+
+    def test_solvable(self):
+        from repro.core.solver import solve_mmd
+
+        inst = cable_headend_workload(num_channels=15, num_gateways=2, seed=4)
+        result = solve_mmd(inst)
+        assert result.assignment.is_feasible()
+        assert result.utility > 0
+
+
+class TestIptvNeighborhood:
+    def test_shape(self):
+        inst = iptv_neighborhood_workload(num_channels=15, num_households=8, seed=5)
+        assert inst.m == 1
+        assert inst.num_users == 8
+
+    def test_infinite_caps_by_default(self):
+        inst = iptv_neighborhood_workload(num_channels=10, num_households=4, seed=6)
+        assert all(math.isinf(u.utility_cap) for u in inst.users)
+
+    def test_finite_caps_opt_in(self):
+        inst = iptv_neighborhood_workload(
+            num_channels=10, num_households=4, seed=7, utility_cap_fraction=0.5
+        )
+        assert all(not math.isinf(u.utility_cap) for u in inst.users)
+
+
+class TestSmallStreams:
+    def test_precondition_holds(self):
+        inst = small_streams_workload(num_channels=25, num_households=6, seed=8)
+        assert small_streams_condition(inst)
+
+    def test_uniform_sd_catalog(self):
+        inst = small_streams_workload(num_channels=10, num_households=3, seed=9)
+        assert all(s.costs[0] == 2.5 for s in inst.streams)
