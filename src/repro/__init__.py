@@ -71,11 +71,19 @@ from repro.core.reduction import (
     unit_interval_decomposition,
     utility_cap_as_capacity,
 )
+from repro.core.indexed import (
+    IndexedAssignment,
+    IndexedInstance,
+    index_instance,
+    resolve_engine,
+)
 from repro.core.skew import SkewClass, classify_and_select, classify_by_skew
 from repro.core.solver import (
     SolveResult,
     best_single_stream_mmd,
     greedy_fill,
+    iter_solve_many,
+    solve_many,
     solve_mmd,
     solve_smd,
     theorem_1_1_bound,
@@ -128,9 +136,16 @@ __all__ = [
     "small_streams_condition",
     "TimedAllocator",
     "TimedGrant",
+    # compiled indexed-instance layer
+    "IndexedInstance",
+    "IndexedAssignment",
+    "index_instance",
+    "resolve_engine",
     # end-to-end solvers and heuristics
     "solve_smd",
     "solve_mmd",
+    "solve_many",
+    "iter_solve_many",
     "SolveResult",
     "best_single_stream_mmd",
     "greedy_fill",

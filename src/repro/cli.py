@@ -10,11 +10,16 @@ Commands
 ``solve``
     Run the paper pipeline (and optionally the exact solver) on an
     instance file; print the solution summary.
+``solve-many``
+    Batch-solve a JSONL stream of instances — or a generated
+    catalog × population × skew sweep — optionally over a process pool;
+    emit one JSON result per line.
 ``simulate``
     Run the discrete-event simulator on a named workload under one or
     more policies and print the comparison table.
 
-All commands read/write plain JSON so they compose with shell pipelines.
+All commands read/write plain JSON (``generate --count`` and
+``solve-many`` stream JSON Lines) so they compose with shell pipelines.
 """
 
 from __future__ import annotations
@@ -27,12 +32,13 @@ from pathlib import Path
 from repro.core.allocate import global_skew_parameters, small_streams_condition
 from repro.core.instance import MMDInstance
 from repro.core.optimal import lp_upper_bound, solve_exact_milp
-from repro.core.solver import solve_mmd, theorem_1_1_bound
+from repro.core.solver import iter_solve_many, solve_mmd, theorem_1_1_bound
 from repro.instances.generators import (
     random_mmd,
     random_smd,
     random_unit_skew_smd,
     small_streams_mmd,
+    sweep_instances,
     tightness_instance,
 )
 from repro.instances.workloads import (
@@ -85,7 +91,41 @@ def _write(text: str, output: "str | None") -> None:
         print(text)
 
 
+def _open_out(output: "str | None"):
+    if output and output != "-":
+        return Path(output).open("w")
+    return sys.stdout
+
+
+#: Families that take no seed: --count would emit identical copies.
+DETERMINISTIC_FAMILIES = frozenset({"tightness"})
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.count is not None:
+        # Streaming mode: emit `count` instances as JSON Lines, one per
+        # seed, writing each line as soon as it is built (constant memory).
+        if args.count < 1:
+            print(f"--count must be >= 1, got {args.count}", file=sys.stderr)
+            return 2
+        if args.family in DETERMINISTIC_FAMILIES and args.count > 1:
+            print(
+                f"--count > 1 with the deterministic family {args.family!r} "
+                "would emit identical instances",
+                file=sys.stderr,
+            )
+            return 2
+        out = _open_out(args.output)
+        try:
+            base_seed = args.seed
+            for offset in range(args.count):
+                args.seed = base_seed + offset
+                out.write(FAMILIES[args.family](args).to_json())
+                out.write("\n")
+        finally:
+            if out is not sys.stdout:
+                out.close()
+        return 0
     instance = FAMILIES[args.family](args)
     _write(instance.to_json(), args.output)
     return 0
@@ -205,6 +245,98 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _int_list(text: str) -> "list[int]":
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _float_list(text: str) -> "list[float]":
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _iter_jsonl_instances(path: str):
+    """Stream instances from a JSON Lines file (or stdin with ``-``)."""
+    handle = sys.stdin if path == "-" else Path(path).open()
+    try:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield MMDInstance.from_json(line)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def cmd_solve_many(args: argparse.Namespace) -> int:
+    """Batch-solve instances from a JSONL file or a generated sweep."""
+    if args.input is None and args.sweep_streams is None:
+        print("solve-many needs --input FILE or --sweep-streams/--sweep-users",
+              file=sys.stderr)
+        return 2
+    if args.input is not None:
+        instances = _iter_jsonl_instances(args.input)
+    else:
+        if args.sweep_users is None:
+            print("--sweep-streams requires --sweep-users", file=sys.stderr)
+            return 2
+        instances = sweep_instances(
+            _int_list(args.sweep_streams),
+            _int_list(args.sweep_users),
+            _float_list(args.sweep_skews),
+            seed=args.seed,
+            density=args.density,
+        )
+    results = iter_solve_many(
+        instances,
+        method=args.method,
+        parallel=args.parallel,
+        engine=args.engine,
+    )
+    # Stream: each result line is written (and flushed) as soon as the
+    # instance finishes, so huge sweeps never accumulate in memory; the
+    # small summary rows are retained only when a closing table will
+    # actually be printed (file output).
+    want_table = bool(args.output) and args.output != "-"
+    summary_rows: "list[list[object]]" = []
+    out = _open_out(args.output)
+    try:
+        for result in results:
+            carried = len(result.assignment.assigned_streams())
+            payload = {
+                "name": result.assignment.instance.name,
+                "streams": result.assignment.instance.num_streams,
+                "users": result.assignment.instance.num_users,
+                "method": result.method,
+                "utility": result.utility,
+                "guarantee": result.guarantee,
+                "feasible": result.assignment.is_feasible(),
+                "streams_carried": carried,
+            }
+            out.write(json.dumps(payload))
+            out.write("\n")
+            out.flush()
+            if want_table:
+                summary_rows.append(
+                    [
+                        result.assignment.instance.name or "(unnamed)",
+                        result.method,
+                        result.utility,
+                        carried,
+                    ]
+                )
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    if want_table:
+        table = Table(
+            ["instance", "method", "utility", "carried"],
+            title=f"solve-many ({len(summary_rows)} instances, parallel={args.parallel})",
+        )
+        for row in summary_rows:
+            table.add_row(row)
+        print(table.render())
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.analysis.ascii_plot import bar_chart
     from repro.sim.policies import (
@@ -277,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--mc", type=int, default=1)
     gen.add_argument("--skew", type=float, default=8.0)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--count", type=int, default=None,
+                     help="emit COUNT instances as JSON Lines (seeds seed..seed+COUNT-1), "
+                     "streaming one line at a time")
     gen.add_argument("--output", "-o", default="-")
     gen.set_defaults(func=cmd_generate)
 
@@ -302,6 +437,30 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--output", "-o", default="",
                        help="write the assignment JSON here")
     solve.set_defaults(func=cmd_solve)
+
+    many = sub.add_parser(
+        "solve-many",
+        help="batch-solve a JSONL instance stream or a generated sweep",
+    )
+    many.add_argument("--input", "-i", default=None,
+                      help="JSONL file of instances (or - for stdin)")
+    many.add_argument("--sweep-streams", default=None,
+                      help="comma list of catalog sizes (generated sweep mode)")
+    many.add_argument("--sweep-users", default=None,
+                      help="comma list of population sizes")
+    many.add_argument("--sweep-skews", default="1",
+                      help="comma list of local skews (1 = unit skew)")
+    many.add_argument("--density", type=float, default=0.05,
+                      help="sweep interest density (streams per user fraction)")
+    many.add_argument("--seed", type=int, default=0)
+    many.add_argument("--method", choices=["greedy", "enumeration"], default="greedy")
+    many.add_argument("--engine", choices=["indexed", "dict"], default=None,
+                      help="hot-path implementation (default: indexed)")
+    many.add_argument("--parallel", "-j", type=int, default=1,
+                      help="worker processes (1 = in-process)")
+    many.add_argument("--output", "-o", default="-",
+                      help="JSONL results path (- for stdout)")
+    many.set_defaults(func=cmd_solve_many)
 
     sim = sub.add_parser("simulate", help="run the DES on a named workload")
     sim.add_argument("--workload", choices=sorted(WORKLOADS), default="iptv")

@@ -39,7 +39,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.assignment import Assignment
+from repro.core.indexed import index_instance, small_streams_indexed
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.exceptions import ValidationError
 
@@ -53,9 +56,9 @@ def global_skew_parameters(instance: MMDInstance) -> "tuple[float, float, int]":
     makes Lemma 5.1 go through; Theorem 1.2 states ``+1``, which does
     not satisfy the lemma's final inequality — we use ``+2`` from §5).
     """
+    idx = index_instance(instance)
     d = sum(1 for b in instance.budgets if not math.isinf(b))
-    for u in instance.users:
-        d += sum(1 for cap in u.capacities if not math.isinf(cap))
+    d += int(np.isfinite(idx.capacities).sum())
     d = max(d, 1)
     gamma = instance.global_skew()
     mu = 2.0 * gamma * d + 2.0
@@ -67,17 +70,7 @@ def small_streams_condition(instance: MMDInstance, mu: "float | None" = None) ->
     ``1/log₂ µ`` fraction of every finite budget and capacity."""
     if mu is None:
         _gamma, mu, _d = global_skew_parameters(instance)
-    log_mu = math.log2(mu)
-    for s in instance.streams:
-        for i, b in enumerate(instance.budgets):
-            if not math.isinf(b) and s.costs[i] > b / log_mu * (1 + FEASIBILITY_RTOL):
-                return False
-    for u in instance.users:
-        for sid in u.utilities:
-            for j, cap in enumerate(u.capacities):
-                if not math.isinf(cap) and u.load(sid, j) > cap / log_mu * (1 + FEASIBILITY_RTOL):
-                    return False
-    return True
+    return small_streams_indexed(index_instance(instance), mu)
 
 
 class OnlineAllocator:
@@ -113,48 +106,41 @@ class OnlineAllocator:
             raise ValidationError(f"mu must exceed 1, got {self.mu}")
         self.log_mu = math.log2(self.mu)
 
+        idx = index_instance(instance)
+        self._idx = idx
+        min_w = idx.min_support_utilities()  # w_min(S); inf for empty support
+
         # Per-measure normalization scales λ (cost and budget together):
         # λ_i = min over streams with c_i(S) > 0 of w_min(S) / (D · c_i(S)).
-        self._min_support_utility: dict[str, float] = {}
-        self._total_support_utility: dict[str, float] = {}
-        for s in instance.streams:
-            ws = [u.utilities[s.stream_id] for u in instance.users if s.stream_id in u.utilities]
-            if ws:
-                self._min_support_utility[s.stream_id] = min(ws)
-                self._total_support_utility[s.stream_id] = sum(ws)
-
         self._server_measures: "list[int]" = [
             i for i, b in enumerate(instance.budgets) if not math.isinf(b)
         ]
         self._server_scale: dict[int, float] = {}
         for i in self._server_measures:
-            scale = math.inf
-            for s in instance.streams:
-                wmin = self._min_support_utility.get(s.stream_id)
-                if wmin is not None and s.costs[i] > 0:
-                    scale = min(scale, wmin / (self.d * s.costs[i]))
+            cost = idx.stream_costs[:, i]
+            mask = np.isfinite(min_w) & (cost > 0)
+            scale = float((min_w[mask] / (self.d * cost[mask])).min()) if mask.any() else math.inf
             self._server_scale[i] = 1.0 if math.isinf(scale) else scale
 
-        # user_id -> list of finite measure indices, and (u, j) -> scale.
-        self._user_measures: dict[str, "list[int]"] = {}
-        self._user_scale: dict[tuple[str, int], float] = {}
-        for u in instance.users:
-            finite = [j for j, cap in enumerate(u.capacities) if not math.isinf(cap)]
-            self._user_measures[u.user_id] = finite
-            for j in finite:
-                scale = math.inf
-                for sid in u.utilities:
-                    load = u.load(sid, j)
-                    wmin = self._min_support_utility.get(sid)
-                    if wmin is not None and load > 0:
-                        scale = min(scale, wmin / (self.d * load))
-                self._user_scale[(u.user_id, j)] = 1.0 if math.isinf(scale) else scale
+        # Per-(user, measure) scales over the user-major pair arrays;
+        # entries for infinite-cap measures exist but are never charged.
+        num_users, mc = idx.num_users, idx.mc
+        self._finite_caps = np.isfinite(idx.capacities)  # (U, mc)
+        self._user_scale_arr = np.ones((num_users, mc))
+        pair_min_w = min_w[idx.u_stream] if idx.nnz else np.empty(0)
+        for j in range(mc):
+            load = idx.u_loads[:, j]
+            mask = load > 0
+            if mask.any():
+                scale = np.full(num_users, math.inf)
+                with np.errstate(over="ignore"):
+                    ratios = pair_min_w[mask] / (self.d * load[mask])
+                np.minimum.at(scale, idx.u_pair_user[mask], ratios)
+                self._user_scale_arr[:, j] = np.where(np.isfinite(scale), scale, 1.0)
 
         # Normalized loads L(i) ∈ [0, 1] per budget (scale-invariant).
-        self._server_load: dict[int, float] = {i: 0.0 for i in self._server_measures}
-        self._user_load: dict[tuple[str, int], float] = {
-            key: 0.0 for key in self._user_scale
-        }
+        self._server_load_arr = np.zeros(idx.m)
+        self._user_load_arr = np.zeros((num_users, mc))
         self.assignment = Assignment(instance)
         self._offered: set[str] = set()
         self.rejected: "list[str]" = []
@@ -166,11 +152,7 @@ class OnlineAllocator:
     def _exp_cost_server(self, i: int) -> float:
         """``C(i) = B'_i (µ^{L(i)} - 1)`` for a server budget (normalized scale)."""
         scaled_budget = self._server_scale[i] * self.instance.budgets[i]
-        return scaled_budget * (self.mu ** self._server_load[i] - 1.0)
-
-    def _exp_cost_user(self, user_id: str, j: int) -> float:
-        scaled_cap = self._user_scale[(user_id, j)] * self.instance.user(user_id).capacities[j]
-        return scaled_cap * (self.mu ** self._user_load[(user_id, j)] - 1.0)
+        return scaled_budget * (self.mu ** float(self._server_load_arr[i]) - 1.0)
 
     def _server_charge(self, stream_id: str) -> float:
         """``Σ_{i∈M} (c_i(S)/B_i)·C(i)`` — the server part of the Line 4 test."""
@@ -183,14 +165,39 @@ class OnlineAllocator:
         return total
 
     def _user_charge(self, user_id: str, stream_id: str) -> float:
-        """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` — one user's part of the test."""
-        u = self.instance.user(user_id)
-        total = 0.0
-        for j in self._user_measures[user_id]:
-            load = u.load(stream_id, j)
-            if load > 0:
-                total += (load / u.capacities[j]) * self._exp_cost_user(user_id, j)
-        return total
+        """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` — one user's part of the test.
+
+        Scalar diagnostic view of :meth:`_user_charges` (same kernel, a
+        single pair), for tests and interactive inspection.
+        """
+        idx = self._idx
+        u_i = idx.user_index[user_id]
+        k = idx.stream_index[self.instance.stream(stream_id).stream_id]
+        row = idx.s_user[idx.s_indptr[k]:idx.s_indptr[k + 1]]
+        position = np.flatnonzero(row == u_i)
+        if position.size == 0:
+            return 0.0  # zero utility pair: loads are zero by the model
+        pair = idx.s_indptr[k] + position[:1]
+        return float(self._user_charges(row[position[:1]], pair)[0])
+
+    def _user_charges(self, row_users: np.ndarray, row_pairs: np.ndarray) -> np.ndarray:
+        """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` for every interested user at once.
+
+        Measures accumulate in ascending ``j`` — the same per-user order
+        (and hence the same floats) as charging one user at a time.
+        """
+        idx = self._idx
+        charge = np.zeros(row_users.size)
+        for j in range(idx.mc):
+            cap = idx.capacities[row_users, j]
+            load = idx.s_loads[row_pairs, j]
+            mask = np.isfinite(cap) & (load > 0.0)
+            if mask.any():
+                users = row_users[mask]
+                scaled_cap = self._user_scale_arr[users, j] * cap[mask]
+                exp_cost = scaled_cap * (self.mu ** self._user_load_arr[users, j] - 1.0)
+                charge[mask] += (load[mask] / cap[mask]) * exp_cost
+        return charge
 
     # ------------------------------------------------------------------
     # Online interface
@@ -204,37 +211,44 @@ class OnlineAllocator:
         if stream_id in self._offered:
             raise ValidationError(f"stream {stream_id!r} is already active")
         stream = self.instance.stream(stream_id)
-
-        interested = [
-            u for u in self.instance.users if stream_id in u.utilities
-        ]
-        if not interested:
+        idx = self._idx
+        k = idx.stream_index[stream_id]
+        lo, hi = int(idx.s_indptr[k]), int(idx.s_indptr[k + 1])
+        if lo == hi:
             self.rejected.append(stream_id)
             return []
+        row_users = idx.s_user[lo:hi]
+        row_pairs = np.arange(lo, hi, dtype=np.int64)
+        row_w = idx.s_w[lo:hi]
 
         server_charge = self._server_charge(stream_id)
-        charges = {u.user_id: self._user_charge(u.user_id, stream_id) for u in interested}
-        utilities = {u.user_id: u.utilities[stream_id] for u in interested}
+        charges = self._user_charges(row_users, row_pairs)
 
         # Maximal U_j: drop users in decreasing order of charge/utility
         # until the Line 4 condition holds (the paper's note after Alg. 2).
-        selected = sorted(
-            (u.user_id for u in interested),
-            key=lambda uid: (charges[uid] / utilities[uid], uid),
-        )
-        total_charge = server_charge + sum(charges[uid] for uid in selected)
-        total_utility = sum(utilities[uid] for uid in selected)
-        while selected and total_charge > total_utility:
-            dropped = selected.pop()  # largest charge/utility ratio last
-            total_charge -= charges[dropped]
-            total_utility -= utilities[dropped]
-        if not selected:
+        order = np.lexsort((idx.user_rank[row_users], charges / row_w))
+        sorted_charges = charges[order]
+        sorted_w = row_w[order]
+        # cumsum accumulates sequentially, so these totals are the exact
+        # floats of summing user-by-user in sorted order.
+        total_charge = server_charge + float(np.cumsum(sorted_charges)[-1])
+        total_utility = float(np.cumsum(sorted_w)[-1])
+        count = order.size
+        while count and total_charge > total_utility:
+            count -= 1  # largest charge/utility ratio last
+            total_charge -= float(sorted_charges[count])
+            total_utility -= float(sorted_w[count])
+        if count == 0:
             self.rejected.append(stream_id)
             return []
+        selected_users = row_users[order[:count]]
+        selected_pairs = row_pairs[order[:count]]
 
         if self.enforce_budgets:
-            selected = self._hard_guard(stream_id, stream, selected)
-            if not selected:
+            selected_users, selected_pairs = self._hard_guard(
+                stream, selected_users, selected_pairs
+            )
+            if selected_users.size == 0:
                 self.rejected.append(stream_id)
                 return []
 
@@ -242,35 +256,40 @@ class OnlineAllocator:
         self._offered.add(stream_id)
         for i in self._server_measures:
             if stream.costs[i] > 0:
-                self._server_load[i] += stream.costs[i] / self.instance.budgets[i]
-        for uid in selected:
-            u = self.instance.user(uid)
-            for j in self._user_measures[uid]:
-                load = u.load(stream_id, j)
-                if load > 0:
-                    self._user_load[(uid, j)] += load / u.capacities[j]
-            self.assignment.add(uid, stream_id)
-        return list(selected)
+                self._server_load_arr[i] += stream.costs[i] / self.instance.budgets[i]
+        for j in range(idx.mc):
+            cap = idx.capacities[selected_users, j]
+            load = idx.s_loads[selected_pairs, j]
+            mask = np.isfinite(cap) & (load > 0.0)
+            if mask.any():
+                self._user_load_arr[selected_users[mask], j] += load[mask] / cap[mask]
+        receivers = idx.user_ids_of(selected_users)
+        self.assignment.assign_stream(stream_id, receivers)
+        return receivers
 
-    def _hard_guard(self, stream_id: str, stream, selected: "list[str]") -> "list[str]":
+    def _hard_guard(
+        self, stream, selected_users: np.ndarray, selected_pairs: np.ndarray
+    ):
         """Drop the stream (or individual users) if committing would exceed
         a budget.  Never fires under the small-streams precondition."""
+        idx = self._idx
+        empty = np.empty(0, dtype=np.int64)
         for i in self._server_measures:
             budget = self.instance.budgets[i]
-            if self._server_load[i] + stream.costs[i] / budget > 1.0 + FEASIBILITY_RTOL:
-                return []
-        survivors = []
-        for uid in selected:
-            u = self.instance.user(uid)
-            fits = True
-            for j in self._user_measures[uid]:
-                cap = u.capacities[j]
-                if self._user_load[(uid, j)] + u.load(stream_id, j) / cap > 1.0 + FEASIBILITY_RTOL:
-                    fits = False
-                    break
-            if fits:
-                survivors.append(uid)
-        return survivors
+            if self._server_load_arr[i] + stream.costs[i] / budget > 1.0 + FEASIBILITY_RTOL:
+                return empty, empty
+        fits = np.ones(selected_users.size, dtype=bool)
+        for j in range(idx.mc):
+            cap = idx.capacities[selected_users, j]
+            finite = np.isfinite(cap)
+            with np.errstate(invalid="ignore"):
+                over = (
+                    self._user_load_arr[selected_users, j]
+                    + idx.s_loads[selected_pairs, j] / cap
+                    > 1.0 + FEASIBILITY_RTOL
+                )
+            fits &= ~(finite & over)
+        return selected_users[fits], selected_pairs[fits]
 
     def release(self, stream_id: str) -> None:
         """Extension for finite-duration sessions: return a stream's load.
@@ -283,17 +302,21 @@ class OnlineAllocator:
         if stream_id not in self._offered:
             raise ValidationError(f"stream {stream_id!r} was never offered")
         stream = self.instance.stream(stream_id)
+        idx = self._idx
         receivers = self.assignment.receivers_of(stream_id)
         if receivers:
             for i in self._server_measures:
                 if stream.costs[i] > 0:
-                    self._server_load[i] -= stream.costs[i] / self.instance.budgets[i]
+                    self._server_load_arr[i] -= stream.costs[i] / self.instance.budgets[i]
         for uid in receivers:
             u = self.instance.user(uid)
-            for j in self._user_measures[uid]:
+            u_i = idx.user_index[uid]
+            for j in range(idx.mc):
+                if math.isinf(u.capacities[j]):
+                    continue
                 load = u.load(stream_id, j)
                 if load > 0:
-                    self._user_load[(uid, j)] -= load / u.capacities[j]
+                    self._user_load_arr[u_i, j] -= load / u.capacities[j]
             self.assignment.discard(uid, stream_id)
         self._offered.discard(stream_id)
 
@@ -308,9 +331,15 @@ class OnlineAllocator:
 
     def normalized_loads(self) -> "dict[str, float]":
         """Current normalized loads per budget (for diagnostics/metrics)."""
-        loads = {f"server[{i}]": load for i, load in self._server_load.items()}
-        for (uid, j), load in self._user_load.items():
-            loads[f"user[{uid}][{j}]"] = load
+        loads = {
+            f"server[{i}]": float(self._server_load_arr[i])
+            for i in self._server_measures
+        }
+        idx = self._idx
+        for u_i, uid in enumerate(idx.user_ids):
+            for j in range(idx.mc):
+                if self._finite_caps[u_i, j]:
+                    loads[f"user[{uid}][{j}]"] = float(self._user_load_arr[u_i, j])
         return loads
 
 

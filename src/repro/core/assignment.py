@@ -62,6 +62,22 @@ class Assignment:
             raise ValidationError(f"unknown stream id {stream_id!r}")
         self._assigned[user_id].add(stream_id)
 
+    def assign_stream(self, stream_id: str, user_ids: Iterable[str]) -> None:
+        """Bulk-assign one stream to many users (idempotent).
+
+        Validates the stream once instead of per ``add`` call, so tight
+        solver loops (Greedy's per-stream delivery, Allocate's commit)
+        do not pay per-pair validation.
+        """
+        if not self.instance.has_stream(stream_id):
+            raise ValidationError(f"unknown stream id {stream_id!r}")
+        assigned = self._assigned
+        for user_id in user_ids:
+            try:
+                assigned[user_id].add(stream_id)
+            except KeyError:
+                raise ValidationError(f"unknown user id {user_id!r}") from None
+
     def add_stream_to_all(self, stream_id: str, only_interested: bool = True) -> "list[str]":
         """Assign a stream to every user (by default only those with
         ``w_u(S) > 0``); returns the user ids that received it."""
@@ -104,18 +120,31 @@ class Assignment:
         """Copy of the underlying mapping."""
         return {uid: set(streams) for uid, streams in self._assigned.items()}
 
+    def pairs(self) -> "Iterable[tuple[str, str]]":
+        """Iterate the assigned ``(user_id, stream_id)`` pairs."""
+        for uid, streams in self._assigned.items():
+            for sid in streams:
+                yield uid, sid
+
     # ------------------------------------------------------------------
     # Costs and loads
     # ------------------------------------------------------------------
 
+    # Accounting sums iterate in sorted stream order: set iteration order
+    # varies with per-process string-hash randomization, and float sums
+    # must be reproducible across processes (solve_many workers).
+
     def server_cost(self, measure: int = 0) -> float:
         """``c_i(A)`` — total server cost of the range in one measure."""
-        return sum(self.instance.stream(sid).costs[measure] for sid in self.assigned_streams())
+        return sum(
+            self.instance.stream(sid).costs[measure]
+            for sid in sorted(self.assigned_streams())
+        )
 
     def server_costs(self) -> tuple[float, ...]:
         """All server costs ``(c_1(A), ..., c_m(A))``."""
         totals = [0.0] * self.instance.m
-        for sid in self.assigned_streams():
+        for sid in sorted(self.assigned_streams()):
             for i, c in enumerate(self.instance.stream(sid).costs):
                 totals[i] += c
         return tuple(totals)
@@ -123,13 +152,13 @@ class Assignment:
     def user_load(self, user_id: str, measure: int = 0) -> float:
         """``k^u_j(A)`` — load of ``A(u)`` on one capacity measure."""
         user = self.instance.user(user_id)
-        return sum(user.load(sid, measure) for sid in self._assigned[user_id])
+        return sum(user.load(sid, measure) for sid in sorted(self._assigned[user_id]))
 
     def user_loads(self, user_id: str) -> tuple[float, ...]:
         """All loads of ``A(u)`` on the user's capacity measures."""
         user = self.instance.user(user_id)
         totals = [0.0] * user.num_capacity_measures
-        for sid in self._assigned[user_id]:
+        for sid in sorted(self._assigned[user_id]):
             for j, load in enumerate(user.load_vector(sid)):
                 totals[j] += load
         return tuple(totals)
@@ -139,9 +168,12 @@ class Assignment:
     # ------------------------------------------------------------------
 
     def raw_user_utility(self, user_id: str) -> float:
-        """``w_u(A) = Σ_{S∈A(u)} w_u(S)`` — uncapped."""
+        """``w_u(A) = Σ_{S∈A(u)} w_u(S)`` — uncapped.
+
+        Summed in sorted stream order for cross-process determinism.
+        """
         user = self.instance.user(user_id)
-        return sum(user.utility(sid) for sid in self._assigned[user_id])
+        return sum(user.utility(sid) for sid in sorted(self._assigned[user_id]))
 
     def user_utility(self, user_id: str) -> float:
         """``min(W_u, w_u(A))`` — the capped contribution of one user."""

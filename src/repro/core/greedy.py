@@ -37,6 +37,12 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core.assignment import Assignment, best_assignment
+from repro.core.indexed import (
+    best_single_stream_kernel,
+    greedy_kernel,
+    index_instance,
+    resolve_engine,
+)
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.exceptions import ValidationError
 
@@ -164,6 +170,7 @@ def greedy(
     instance: MMDInstance,
     initial_streams: "tuple[str, ...]" = (),
     budget: "float | None" = None,
+    engine: "str | None" = None,
 ) -> GreedyTrace:
     """Algorithm 1 (*Greedy*) of §2.1.
 
@@ -178,12 +185,19 @@ def greedy(
     budget:
         Optional budget override (used by resource-augmentation
         experiments); defaults to ``B_1``.
+    engine:
+        ``"indexed"`` (default) runs the vectorized kernel of
+        :mod:`repro.core.indexed`; ``"dict"`` runs the original
+        string-keyed implementation.  Both produce bit-identical traces;
+        the default may be overridden with ``$REPRO_ENGINE``.
 
     Returns a :class:`GreedyTrace` whose assignment is semi-feasible:
     the server budget holds, and each user may exceed his utility cap
     only by his final stream (utility is counted capped).
     """
     _require_single_budget(instance)
+    if resolve_engine(engine) == "indexed":
+        return _greedy_indexed(instance, initial_streams, budget)
     cap = instance.budgets[0] if budget is None else budget
     state = _GreedyState(instance)
     assignment = Assignment(instance)
@@ -214,6 +228,34 @@ def greedy(
         else:
             trace.rejected_for_budget.append(best_sid)
         state.drop(best_sid)
+    return trace
+
+
+def _greedy_indexed(
+    instance: MMDInstance,
+    initial_streams: "tuple[str, ...]",
+    budget: "float | None",
+) -> GreedyTrace:
+    """Vectorized Greedy: lower once, run the CSR kernel, lift the trace."""
+    cap = instance.budgets[0] if budget is None else budget
+    idx = index_instance(instance)
+    initial: "list[int]" = []
+    seen: set[str] = set()
+    for sid in initial_streams:
+        if sid in seen or sid not in idx.stream_index:
+            raise ValidationError(f"initial stream {sid!r} unknown or repeated")
+        seen.add(sid)
+        initial.append(idx.stream_index[sid])
+    order, rejected, total_cost = greedy_kernel(idx, cap, initial)
+    assignment = Assignment(instance)
+    trace = GreedyTrace(assignment)
+    for k, receivers in order:
+        sid = idx.stream_ids[k]
+        uids = tuple(idx.user_ids_of(receivers))
+        assignment.assign_stream(sid, uids)
+        trace.order.append((sid, uids))
+    trace.rejected_for_budget = idx.stream_ids_of(rejected)
+    trace.total_cost = total_cost
     return trace
 
 
@@ -271,13 +313,22 @@ def greedy_lazy(
     return trace
 
 
-def best_single_stream_assignment(instance: MMDInstance) -> Assignment:
+def best_single_stream_assignment(
+    instance: MMDInstance, engine: "str | None" = None
+) -> Assignment:
     """``A_max`` (§2.2): the best single transmitted stream, assigned to
     every interested user.
 
     Always feasible at the server (the paper assumes ``c_i(S) <= B_i``).
     """
     _require_single_budget(instance)
+    if resolve_engine(engine) == "indexed":
+        idx = index_instance(instance)
+        k, best_value = best_single_stream_kernel(idx, lexicographic_ties=True)
+        a = Assignment(instance)
+        if k >= 0 and best_value > 0:
+            a.add_stream_to_all(idx.stream_ids[k])
+        return a
     best_sid = None
     best_value = -1.0
     for s in instance.streams:
@@ -293,17 +344,21 @@ def best_single_stream_assignment(instance: MMDInstance) -> Assignment:
     return a
 
 
-def greedy_with_best_stream(instance: MMDInstance) -> Assignment:
+def greedy_with_best_stream(
+    instance: MMDInstance, engine: "str | None" = None
+) -> Assignment:
     """Lemma 2.6's ``Ã``: the better of Greedy and ``A_max``.
 
     Semi-feasible, with ``w(Ã) >= (e-1)/2e · OPT``; feasible when user
     capacities are augmented by one stream (Corollary 2.7).
     """
-    trace = greedy(instance)
-    return best_assignment([trace.assignment, best_single_stream_assignment(instance)])
+    trace = greedy(instance, engine=engine)
+    return best_assignment(
+        [trace.assignment, best_single_stream_assignment(instance, engine=engine)]
+    )
 
 
-def greedy_feasible(instance: MMDInstance) -> Assignment:
+def greedy_feasible(instance: MMDInstance, engine: "str | None" = None) -> Assignment:
     """Theorem 2.8: the feasible ``3e/(e-1)``-approximation.
 
     Splits the greedy assignment per user into all-but-last (``A_1``)
@@ -311,7 +366,7 @@ def greedy_feasible(instance: MMDInstance) -> Assignment:
     oversaturated only by his final stream — and returns the best of
     ``A_1``, ``A_2`` and ``A_max`` by (capped) utility.
     """
-    trace = greedy(instance)
+    trace = greedy(instance, engine=engine)
     last = trace.last_stream_of()
     a1 = Assignment(instance)
     a2 = Assignment(instance)
@@ -323,4 +378,6 @@ def greedy_feasible(instance: MMDInstance) -> Assignment:
                 a2.add(u.user_id, sid)
             else:
                 a1.add(u.user_id, sid)
-    return best_assignment([a1, a2, best_single_stream_assignment(instance)])
+    return best_assignment(
+        [a1, a2, best_single_stream_assignment(instance, engine=engine)]
+    )

@@ -372,23 +372,16 @@ class MMDInstance:
         reduction of §3 places them in a dedicated "free" class instead
         of letting them blow up ``α``).
         """
-        skew = 1.0
-        for u in self.users:
-            for j in range(self.mc):
-                ratios = self.cost_benefit_ratios(u, j)
-                if len(ratios) >= 2:
-                    skew = max(skew, max(ratios) / min(ratios))
-        return skew
+        from repro.core.indexed import index_instance, local_skew_indexed
+
+        return local_skew_indexed(index_instance(self))
 
     def has_free_pairs(self) -> bool:
         """True if some (user, stream) pair has positive utility and zero load
         on some measure while other streams load that measure positively."""
-        for u in self.users:
-            for j in range(self.mc):
-                loads = [u.load(sid, j) for sid in u.utilities]
-                if any(load == 0 for load in loads) and any(load > 0 for load in loads):
-                    return True
-        return False
+        from repro.core.indexed import has_free_pairs_indexed, index_instance
+
+        return has_free_pairs_indexed(index_instance(self))
 
     def is_unit_skew(self, rtol: float = 1e-9) -> bool:
         """True when every user's loads are proportional to his utilities.
@@ -397,12 +390,9 @@ class MMDInstance:
         caps (``§2 Preliminaries``): after normalization either
         ``w_u(S) = k_u(S)`` or ``w_u(S) = 0``.
         """
-        for u in self.users:
-            for j in range(self.mc):
-                ratios = self.cost_benefit_ratios(u, j)
-                if ratios and max(ratios) > min(ratios) * (1 + rtol):
-                    return False
-        return True
+        from repro.core.indexed import index_instance, is_unit_skew_indexed
+
+        return is_unit_skew_indexed(index_instance(self), rtol=rtol)
 
     def global_skew(self) -> float:
         """The global skew ``γ`` of the instance (paper §5, eq. (1)).
@@ -422,33 +412,9 @@ class MMDInstance:
         bottom).  Measures that no stream loads positively contribute
         nothing; an instance with no positive costs at all has ``γ = 1``.
         """
-        # measure key -> [best, worst]; server measures keyed by index,
-        # user virtual measures by (user_id, j).
-        spread: dict[object, list[float]] = {}
+        from repro.core.indexed import global_skew_indexed, index_instance
 
-        def update(key: object, total_w: float, min_w: float, cost: float) -> None:
-            entry = spread.setdefault(key, [0.0, math.inf])
-            entry[0] = max(entry[0], total_w / cost)
-            entry[1] = min(entry[1], min_w / cost)
-
-        for s in self.streams:
-            support = [u for u in self.users if s.stream_id in u.utilities]
-            if not support:
-                continue
-            total_w = sum(u.utilities[s.stream_id] for u in support)
-            min_w = min(u.utilities[s.stream_id] for u in support)
-            for i, c in enumerate(s.costs):
-                if c > 0:
-                    update(("server", i), total_w, min_w, c)
-            for u in support:
-                for j, load in enumerate(u.load_vector(s.stream_id)):
-                    if load > 0:
-                        update(("user", u.user_id, j), total_w, min_w, load)
-        gamma = 1.0
-        for best, worst in spread.values():
-            if best > 0.0 and not math.isinf(worst):
-                gamma = max(gamma, best / worst)
-        return gamma
+        return global_skew_indexed(index_instance(self))
 
     # ------------------------------------------------------------------
     # Rebuilding helpers used by the reductions
@@ -587,6 +553,14 @@ class MMDInstance:
     @classmethod
     def from_json(cls, text: str) -> "MMDInstance":
         return cls.from_dict(json.loads(text))
+
+    def __getstate__(self) -> dict:
+        # The lazily-built indexed lowering (repro.core.indexed) holds
+        # large numpy arrays; re-derive it after unpickling instead of
+        # shipping it across process boundaries.
+        state = self.__dict__.copy()
+        state.pop("_indexed_cache", None)
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -31,7 +31,10 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.core.assignment import Assignment, best_assignment
+from repro.core.indexed import index_instance
 from repro.core.instance import MMDInstance, Stream, User
 from repro.exceptions import ValidationError
 
@@ -166,7 +169,8 @@ class SingleBudgetReduction:
         reduced_cost = {
             s.stream_id: s.costs[0] for s in self.reduced.streams
         }
-        chosen = [sid for sid in self.reduced.stream_ids() if sid in assignment.assigned_streams()]
+        assigned = assignment.assigned_streams()
+        chosen = [sid for sid in self.reduced.stream_ids() if sid in assigned]
         if not chosen:
             return Assignment(self.original)
         big = [sid for sid in chosen if reduced_cost[sid] >= 1.0 - _BOUNDARY_EPS]
@@ -186,10 +190,9 @@ class SingleBudgetReduction:
         group (at most ``2m_c - 1`` groups per user)."""
         result = Assignment(self.original)
         for user in self.original.users:
+            user_streams = assignment.streams_of(user.user_id)
             streams = [
-                sid
-                for sid in self.original.stream_ids()
-                if sid in assignment.streams_of(user.user_id)
+                sid for sid in self.original.stream_ids() if sid in user_streams
             ]
             if not streams:
                 continue
@@ -231,34 +234,40 @@ def reduce_to_single_budget(instance: MMDInstance) -> SingleBudgetReduction:
     )
     m_eff = len(finite)
 
-    def reduced_stream_cost(stream: Stream) -> float:
-        return sum(stream.costs[i] / instance.budgets[i] for i in finite)
-
+    # Vectorized normalize-and-sum over the indexed lowering; measures
+    # accumulate in ascending order, matching the scalar sums.
+    idx = index_instance(instance)
+    reduced_costs = idx.normalized_costs()
     new_streams = [
         Stream(
             stream_id=s.stream_id,
-            costs=(reduced_stream_cost(s),),
+            costs=(float(reduced_costs[k]),),
             name=s.name,
             attrs=s.attrs,
         )
-        for s in instance.streams
+        for k, s in enumerate(instance.streams)
     ]
     single_budget = float(m_eff) if m_eff > 0 else math.inf
 
+    finite_caps_mask = np.isfinite(idx.capacities) & (idx.capacities > 0)
+    pair_reduced = np.zeros(idx.nnz)
+    for j in range(idx.mc):
+        mask = finite_caps_mask[idx.u_pair_user, j]
+        if mask.any():
+            pair_reduced[mask] += (
+                idx.u_loads[mask, j] / idx.capacities[idx.u_pair_user[mask], j]
+            )
+    mc_eff_per_user = finite_caps_mask.sum(axis=1)
+
     new_users = []
-    for u in instance.users:
-        finite_caps = [
-            j
-            for j, cap in enumerate(u.capacities)
-            if not math.isinf(cap) and cap > 0
-        ]
-        mc_eff = len(finite_caps)
-
-        def reduced_load(sid: str) -> float:
-            return sum(u.load(sid, j) / u.capacities[j] for j in finite_caps)
-
+    pos = 0
+    for u_i, u in enumerate(instance.users):
+        mc_eff = int(mc_eff_per_user[u_i])
         capacity = float(mc_eff) if mc_eff > 0 else math.inf
-        loads = {sid: (reduced_load(sid),) for sid in u.utilities}
+        loads = {}
+        for sid in u.utilities:
+            loads[sid] = (float(pair_reduced[pos]),)
+            pos += 1
         new_users.append(
             User(
                 user_id=u.user_id,

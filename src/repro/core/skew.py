@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro.core.assignment import Assignment, best_assignment
 from repro.core.greedy import greedy_feasible
+from repro.core.indexed import index_instance, skew_bins
 from repro.core.instance import MMDInstance
 from repro.exceptions import ValidationError
 
@@ -77,14 +78,13 @@ def classify_by_skew(instance: MMDInstance) -> "list[SkewClass]":
     pairs is exactly the original instance's.
     """
     _require_smd_for_classify(instance)
-    has_capacity = instance.mc == 1
 
-    # Per-user normalization: the minimum positive-load ratio becomes 1.
-    rmin: dict[str, float] = {}
-    for u in instance.users:
-        ratios = instance.cost_benefit_ratios(u, 0) if has_capacity else []
-        if ratios:
-            rmin[u.user_id] = min(ratios)
+    # Vectorized binning: per-user ratio normalization and the per-pair
+    # log₂ class index are computed on the indexed lowering (identical
+    # arithmetic to the scalar formulas — see repro.core.indexed.skew_bins);
+    # zero/overflowing-ratio pairs land in the free class.
+    idx = index_instance(instance)
+    bins = skew_bins(idx)
 
     # class index -> user -> {stream: class utility}; parallel loads/caps.
     class_utilities: dict[int, dict[str, dict[str, float]]] = {}
@@ -98,31 +98,22 @@ def classify_by_skew(instance: MMDInstance) -> "list[SkewClass]":
         class_caps.setdefault(index, {})
         class_pairs.setdefault(index, [])
 
-    for u in instance.users:
-        scale = rmin.get(u.user_id)
+    pos = 0
+    for u_i, u in enumerate(instance.users):
         for sid, w in u.utilities.items():
-            load = u.load(sid, 0) if has_capacity else 0.0
-            # Loads of zero — and subnormal loads whose ratio overflows —
-            # are "free" pairs: the capacity constraint cannot bind them.
-            if load == 0.0 or not math.isfinite(w / load) or scale is None:
-                index = FREE_CLASS
-                _bucket(index)
-                class_utilities[index].setdefault(u.user_id, {})[sid] = w
-                class_pairs[index].append((u.user_id, sid))
-                continue
-            normalized_ratio = (w / load) / scale
-            if not math.isfinite(normalized_ratio):
-                normalized_ratio = 2.0**1000  # clamp: still a valid class
-            # Guard against float fuzz at class boundaries; a pair landing
-            # one class off only widens that class's ratio spread by ε.
-            index = int(math.floor(math.log2(max(normalized_ratio, 1.0)) + 1e-12)) + 1
+            index = int(bins.bins[pos])
             _bucket(index)
-            # Class utility = scaled load; cap = scaled capacity (unit skew).
-            scaled_load = load * scale
-            class_utilities[index].setdefault(u.user_id, {})[sid] = scaled_load
-            class_loads[index].setdefault(u.user_id, {})[sid] = (scaled_load,)
-            class_caps[index][u.user_id] = u.capacities[0] * scale
+            if index == FREE_CLASS:
+                class_utilities[index].setdefault(u.user_id, {})[sid] = w
+            else:
+                # Class utility = scaled load; cap = scaled capacity
+                # (unit skew).
+                scaled_load = float(bins.scaled_load[pos])
+                class_utilities[index].setdefault(u.user_id, {})[sid] = scaled_load
+                class_loads[index].setdefault(u.user_id, {})[sid] = (scaled_load,)
+                class_caps[index][u.user_id] = float(bins.scaled_cap[u_i])
             class_pairs[index].append((u.user_id, sid))
+            pos += 1
 
     classes: "list[SkewClass]" = []
     for index in sorted(class_utilities):

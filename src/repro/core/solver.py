@@ -26,6 +26,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
 
 from repro.core.allocate import allocate, small_streams_condition
 from repro.core.assignment import Assignment, best_assignment
@@ -34,6 +37,13 @@ from repro.core.greedy import (
     FEASIBLE_FACTOR,
     SEMI_FEASIBLE_FACTOR,
     greedy_feasible,
+)
+from repro.core.indexed import (
+    assigned_pair_mask,
+    best_single_stream_kernel,
+    fill_kernel,
+    index_instance,
+    resolve_engine,
 )
 from repro.core.instance import MMDInstance, User
 from repro.core.reduction import reduce_to_single_budget, utility_cap_as_capacity
@@ -105,7 +115,9 @@ def section2_view(instance: MMDInstance) -> MMDInstance:
     return MMDInstance(instance.streams, users, instance.budgets, name=instance.name, strict=False)
 
 
-def greedy_fill(instance: MMDInstance, assignment: Assignment) -> Assignment:
+def greedy_fill(
+    instance: MMDInstance, assignment: Assignment, engine: "str | None" = None
+) -> Assignment:
     """Monotone post-augmentation: claim feasible deliveries the pipeline
     left on the table.
 
@@ -118,12 +130,16 @@ def greedy_fill(instance: MMDInstance, assignment: Assignment) -> Assignment:
     preserved.  (This is the practical refinement that lets the pipeline
     dominate the threshold baseline instead of merely bounding it.)
     """
+    if resolve_engine(engine) == "indexed":
+        return _greedy_fill_indexed(instance, assignment)
     a = assignment.copy()
     server_used = list(a.server_costs())
     user_used = {u.user_id: list(a.user_loads(u.user_id)) for u in instance.users}
     user_raw = {u.user_id: a.raw_user_utility(u.user_id) for u in instance.users}
     in_range = set(a.assigned_streams())
-    finite = [i for i, b in enumerate(instance.budgets) if not math.isinf(b)]
+    # Zero budgets are vacuous (validation forces costs on them to zero)
+    # and must not enter the normalized-cost sum: 0/0 has no meaning.
+    finite = [i for i, b in enumerate(instance.budgets) if not math.isinf(b) and b > 0]
 
     def fits_server(stream) -> bool:
         return all(
@@ -193,12 +209,44 @@ def greedy_fill(instance: MMDInstance, assignment: Assignment) -> Assignment:
     return a
 
 
-def best_single_stream_mmd(instance: MMDInstance) -> Assignment:
+def _greedy_fill_indexed(instance: MMDInstance, assignment: Assignment) -> Assignment:
+    """Vectorized greedy_fill: seed the accounting arrays from the
+    assignment, run the CSR kernel, lift the additions back."""
+    idx = index_instance(instance)
+    a = assignment.copy()
+    server_used = np.array(a.server_costs(), dtype=np.float64)
+    user_used = np.zeros((idx.num_users, idx.mc))
+    user_raw = np.empty(idx.num_users)
+    for u_i, uid in enumerate(idx.user_ids):
+        loads = a.user_loads(uid)
+        if loads:
+            user_used[u_i, :] = loads
+        user_raw[u_i] = a.raw_user_utility(uid)
+    assigned_pairs = assigned_pair_mask(idx, a.as_dict())
+    in_range = np.zeros(idx.num_streams, dtype=bool)
+    for sid in a.assigned_streams():
+        in_range[idx.stream_index[sid]] = True
+    additions = fill_kernel(idx, server_used, user_used, user_raw, assigned_pairs, in_range)
+    for k, receivers in additions:
+        a.assign_stream(idx.stream_ids[k], idx.user_ids_of(receivers))
+    return a
+
+
+def best_single_stream_mmd(
+    instance: MMDInstance, engine: "str | None" = None
+) -> Assignment:
     """``A_max`` generalised to MMD: the best single transmitted stream.
 
     Feasible for any instance: ``c_i(S) <= B_i`` and single-stream user
     loads respect capacities by the instance's validation invariants.
     """
+    if resolve_engine(engine) == "indexed":
+        idx = index_instance(instance)
+        k, best_value = best_single_stream_kernel(idx, lexicographic_ties=False)
+        a = Assignment(instance)
+        if k >= 0 and best_value > 0:
+            a.add_stream_to_all(idx.stream_ids[k])
+        return a
     best_sid = None
     best_value = 0.0
     for s in instance.streams:
@@ -214,35 +262,42 @@ def best_single_stream_mmd(instance: MMDInstance) -> Assignment:
     return a
 
 
-def _class_solver(method: str):
+def _class_solver(method: str, engine: "str | None" = None):
     if method == "enumeration":
         return partial_enumeration_feasible
-    return greedy_feasible
+
+    def solver(inst: MMDInstance) -> Assignment:
+        return greedy_feasible(inst, engine=engine)
+
+    return solver
 
 
 def _class_factor(method: str) -> float:
     return SEMI_FEASIBLE_FACTOR if method == "enumeration" else FEASIBLE_FACTOR
 
 
-def solve_smd(instance: MMDInstance, method: str = "greedy") -> SolveResult:
+def solve_smd(
+    instance: MMDInstance, method: str = "greedy", engine: "str | None" = None
+) -> SolveResult:
     """Solve a single-budget instance (Theorem 2.8 / 2.10 / 3.1 paths).
 
     ``method`` selects the unit-skew class solver: ``"greedy"`` (the
     ``O(n²)`` Theorem 2.8 algorithm) or ``"enumeration"`` (the slower
-    Theorem 2.10 algorithm with the sharper constant).
+    Theorem 2.10 algorithm with the sharper constant).  ``engine``
+    selects the greedy/fill implementation (see :func:`repro.core.greedy.greedy`).
     """
     if instance.m != 1:
         raise ValidationError("solve_smd requires a single server budget; use solve_mmd")
     if instance.mc > 1:
         # More than one capacity measure per user is MMD in disguise.
-        return solve_mmd(instance, method=method)
-    solver = _class_solver(method)
+        return solve_mmd(instance, method=method, engine=engine)
+    solver = _class_solver(method, engine)
     alpha = instance.local_skew()
     details: "dict[str, object]" = {"alpha": alpha, "m": 1, "mc": instance.mc}
 
     if instance.is_unit_skew():
         view = section2_view(instance)
-        solution = greedy_fill(instance, solver(view).on_instance(instance))
+        solution = greedy_fill(instance, solver(view).on_instance(instance), engine=engine)
         guarantee = _class_factor(method)
         return SolveResult(
             assignment=solution,
@@ -254,9 +309,11 @@ def solve_smd(instance: MMDInstance, method: str = "greedy") -> SolveResult:
 
     if any(not math.isinf(u.utility_cap) for u in instance.users):
         # Skewed instance with finite utility caps: convert and go MMD.
-        return solve_mmd(instance, method=method)
+        return solve_mmd(instance, method=method, engine=engine)
 
-    solution = greedy_fill(instance, classify_and_select(instance, solve_class=solver))
+    solution = greedy_fill(
+        instance, classify_and_select(instance, solve_class=solver), engine=engine
+    )
     num_classes = num_skew_classes(alpha) + (1 if instance.has_free_pairs() else 0)
     guarantee = 2.0 * num_classes * _class_factor(method)
     details["skew_classes"] = num_classes
@@ -273,6 +330,7 @@ def solve_mmd(
     instance: MMDInstance,
     method: str = "greedy",
     try_allocate: bool = True,
+    engine: "str | None" = None,
 ) -> SolveResult:
     """Theorem 1.1's ``O(m·m_c·log(2αm_c))``-approximation for MMD.
 
@@ -289,14 +347,14 @@ def solve_mmd(
     }
 
     if converted.is_smd and all(math.isinf(u.utility_cap) for u in converted.users):
-        inner = solve_smd(converted, method=method)
+        inner = solve_smd(converted, method=method, engine=engine)
         candidates.append((inner.method, inner.assignment.on_instance(instance)))
         base_guarantee = inner.guarantee
         details.update(inner.details)
     else:
         reduction = reduce_to_single_budget(converted)
         reduced_alpha = reduction.reduced.local_skew()
-        solver = _class_solver(method)
+        solver = _class_solver(method, engine)
         reduced_solution = classify_and_select(reduction.reduced, solve_class=solver)
         lifted = reduction.lift(reduced_solution).on_instance(instance)
         candidates.append((f"reduction+classify+{method}", lifted))
@@ -307,12 +365,14 @@ def solve_mmd(
         )
         details["reduced_alpha"] = reduced_alpha
 
-    single = best_single_stream_mmd(instance)
+    single = best_single_stream_mmd(instance, engine=engine)
     candidates.append(("best-single-stream", single))
     # Residual-density greedy straight on the MMD instance: no worst-case
     # guarantee of its own, but a strong practical candidate (Algorithm 1's
     # selection rule generalized past the unit-skew setting).
-    candidates.append(("mmd-greedy", greedy_fill(instance, Assignment(instance))))
+    candidates.append(
+        ("mmd-greedy", greedy_fill(instance, Assignment(instance), engine=engine))
+    )
 
     if try_allocate and small_streams_condition(converted):
         result = allocate(converted)
@@ -320,7 +380,9 @@ def solve_mmd(
         details["allocate_mu"] = result.mu
         details["allocate_bound"] = result.competitive_bound
 
-    candidates = [(name, greedy_fill(instance, a)) for name, a in candidates]
+    candidates = [
+        (name, greedy_fill(instance, a, engine=engine)) for name, a in candidates
+    ]
     details["candidate_utilities"] = {
         name: a.utility() for name, a in candidates
     }
@@ -331,6 +393,85 @@ def solve_mmd(
         method=winner_name,
         guarantee=base_guarantee,
         details=details,
+    )
+
+
+def _solve_one(args: "tuple[MMDInstance, str, bool, str | None]") -> SolveResult:
+    """Process-pool worker for :func:`solve_many` (top level: picklable)."""
+    instance, method, try_allocate, engine = args
+    return solve_mmd(instance, method=method, try_allocate=try_allocate, engine=engine)
+
+
+def iter_solve_many(
+    instances: "Iterable[MMDInstance]",
+    *,
+    method: str = "greedy",
+    try_allocate: bool = True,
+    engine: "str | None" = None,
+    parallel: int = 1,
+) -> "Iterable[SolveResult]":
+    """Streaming core of :func:`solve_many`: yield results in input order.
+
+    Instances are pulled from the iterable lazily and results are
+    yielded as soon as they (and all their predecessors) complete, so a
+    sweep generator piped through this never holds more than
+    ``O(parallel)`` instances/results alive at once.
+    """
+    if parallel < 1:
+        raise ValidationError(f"parallel must be >= 1, got {parallel}")
+    if parallel == 1:
+        for inst in instances:
+            yield solve_mmd(inst, method=method, try_allocate=try_allocate, engine=engine)
+        return
+    import collections
+    from concurrent.futures import ProcessPoolExecutor
+
+    pending: "collections.deque" = collections.deque()
+    with ProcessPoolExecutor(max_workers=parallel) as pool:
+        for inst in instances:
+            pending.append(pool.submit(_solve_one, (inst, method, try_allocate, engine)))
+            # Keep at most 2 batches in flight so huge generators stream.
+            while len(pending) >= 2 * parallel:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()
+
+
+def solve_many(
+    instances: "Iterable[MMDInstance]",
+    *,
+    method: str = "greedy",
+    try_allocate: bool = True,
+    engine: "str | None" = None,
+    parallel: int = 1,
+) -> "list[SolveResult]":
+    """Batch front door: solve every instance of a workload sweep.
+
+    Parameters
+    ----------
+    instances:
+        Any iterable of instances — a list, or a streaming generator
+        such as :func:`repro.instances.generators.sweep_instances`
+        (consumed lazily).
+    method / try_allocate / engine:
+        Forwarded to :func:`solve_mmd` per instance.
+    parallel:
+        Number of worker processes.  ``1`` (default) solves in-process;
+        ``N > 1`` fans instances out over a process pool with a bounded
+        number in flight.
+
+    Returns the :class:`SolveResult` list in input order.  For sweeps
+    too large to hold every result in memory, use
+    :func:`iter_solve_many`, which yields results as they complete.
+    """
+    return list(
+        iter_solve_many(
+            instances,
+            method=method,
+            try_allocate=try_allocate,
+            engine=engine,
+            parallel=parallel,
+        )
     )
 
 

@@ -14,8 +14,9 @@ The families are chosen to exercise specific paper regimes:
 
 from __future__ import annotations
 
+import itertools
 import math
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -252,6 +253,49 @@ def small_streams_mmd(
             )
         )
     return MMDInstance(base.streams, users, tuple(budgets), name="small-streams-mmd")
+
+
+def sweep_instances(
+    stream_counts: Sequence[int],
+    user_counts: Sequence[int],
+    skews: Sequence[float] = (1.0,),
+    seed: int = 0,
+    density: float = 0.05,
+    budget_fraction: float = 0.3,
+) -> "Iterator[MMDInstance]":
+    """Stream a catalog × population × skew grid of SMD instances.
+
+    A generator (constant memory): each instance is built only when the
+    consumer asks for it, so million-user sweeps can be piped straight
+    into :func:`repro.core.solver.iter_solve_many` or serialized line by
+    line (``repro solve-many --sweep-...`` / ``repro generate --count``)
+    without materializing the whole grid.
+
+    Instances are deterministic given ``seed``: grid cell ``t`` uses
+    ``seed + t``.  ``skew == 1`` cells use the §2 unit-skew family,
+    other cells the bounded-skew family.
+    """
+    grid = itertools.product(stream_counts, user_counts, skews)
+    for t, (num_streams, num_users, skew) in enumerate(grid):
+        if skew <= 1.0:
+            inst = random_unit_skew_smd(
+                num_streams,
+                num_users,
+                seed=seed + t,
+                density=density,
+                budget_fraction=budget_fraction,
+            )
+        else:
+            inst = random_smd(
+                num_streams,
+                num_users,
+                skew,
+                seed=seed + t,
+                density=density,
+                budget_fraction=budget_fraction,
+            )
+        inst.name = f"sweep[s={num_streams},u={num_users},a={skew:g},seed={seed + t}]"
+        yield inst
 
 
 def tightness_instance(m: int, mc: int) -> MMDInstance:

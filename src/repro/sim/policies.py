@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.core.allocate import OnlineAllocator
+from repro.core.indexed import index_instance
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.util.rng import ensure_rng
 
@@ -51,6 +52,7 @@ class ResourceView:
 
     def __init__(self, instance: MMDInstance) -> None:
         self.instance = instance
+        self._idx = index_instance(instance)
         self.server_used: "list[float]" = [0.0] * instance.m
         self.user_used: "dict[str, list[float]]" = {
             u.user_id: [0.0] * instance.mc for u in instance.users
@@ -81,7 +83,13 @@ class ResourceView:
         return True
 
     def interested_users(self, stream_id: str) -> "list[str]":
-        return [u.user_id for u in self.instance.users if stream_id in u.utilities]
+        # Stream-major CSR row lookup (users in instance order) instead
+        # of a full population scan per offer.
+        idx = self._idx
+        k = idx.stream_index.get(stream_id)
+        if k is None:
+            return []
+        return idx.user_ids_of(idx.s_user[idx.s_indptr[k]:idx.s_indptr[k + 1]])
 
 
 class AdmissionPolicy(ABC):
@@ -161,22 +169,23 @@ class DensityPolicy(AdmissionPolicy):
         self.name = f"density(q={quantile:g})"
 
     def bind(self, instance: MMDInstance) -> None:
-        finite = [i for i, b in enumerate(instance.budgets) if not math.isinf(b)]
-        densities = []
-        for s in instance.streams:
-            cost = sum(s.costs[i] / instance.budgets[i] for i in finite)
-            w = instance.total_utility(s.stream_id)
-            densities.append(w / cost if cost > 0 else math.inf)
-        if densities:
-            self._cutoff = float(np.quantile(np.array(densities), self.quantile))
-        self._instance = instance
-        self._finite = finite
+        # Vectorized over the indexed lowering: normalized catalog costs
+        # (finite positive budgets only — zero budgets are vacuous) and
+        # per-stream utilities via one segmented sum, the same floats as
+        # the per-stream dict loops.
+        idx = index_instance(instance)
+        cost = idx.normalized_costs()
+        totals = idx.total_utilities()
+        densities = np.divide(
+            totals, cost, out=np.full(idx.num_streams, math.inf), where=cost > 0
+        )
+        if densities.size:
+            self._cutoff = float(np.quantile(densities, self.quantile))
+        self._idx = idx
+        self._densities = densities
 
     def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
-        stream = self._instance.stream(stream_id)
-        cost = sum(stream.costs[i] / self._instance.budgets[i] for i in self._finite)
-        w = self._instance.total_utility(stream_id)
-        density = w / cost if cost > 0 else math.inf
+        density = float(self._densities[self._idx.stream_index[stream_id]])
         if density < self._cutoff:
             return []
         if not view.fits_server(stream_id):

@@ -1,0 +1,157 @@
+"""Parity suite: the indexed engine must be *bit-identical* to the dict engine.
+
+The compiled layer (:mod:`repro.core.indexed`) promises that its
+vectorized kernels reproduce the string-keyed implementations' float
+accumulation order exactly, so utilities, tie-breaks, traces and
+assignments match with ``==`` — not just approximately.  These
+hypothesis-driven tests exercise that contract on random unit-skew SMD,
+bounded-skew SMD and general MMD instances for every hot path the
+refactor touched: ``greedy``, ``greedy_feasible``,
+``classify_and_select``, ``greedy_fill`` and ``solve_mmd``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import Assignment
+from repro.core.greedy import (
+    best_single_stream_assignment,
+    greedy,
+    greedy_feasible,
+)
+from repro.core.skew import classify_and_select
+from repro.core.solver import best_single_stream_mmd, greedy_fill, solve_mmd
+from repro.instances.generators import (
+    random_mmd,
+    random_smd,
+    random_unit_skew_smd,
+)
+
+#: Keep the generated instances small: parity is about arithmetic order,
+#: not scale, and hypothesis runs many examples.
+SIZES = st.tuples(st.integers(2, 14), st.integers(1, 10))
+
+
+def smd_families(seed: int, num_streams: int, num_users: int, skew: float):
+    if skew <= 1.0:
+        return random_unit_skew_smd(num_streams, num_users, seed=seed)
+    return random_smd(num_streams, num_users, skew, seed=seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 2.0, 8.0, 64.0]))
+def test_greedy_trace_parity(seed, size, skew):
+    instance = smd_families(seed, *size, skew)
+    dict_trace = greedy(instance, engine="dict")
+    idx_trace = greedy(instance, engine="indexed")
+    assert idx_trace.order == dict_trace.order
+    assert idx_trace.rejected_for_budget == dict_trace.rejected_for_budget
+    assert idx_trace.total_cost == dict_trace.total_cost
+    assert idx_trace.assignment.as_dict() == dict_trace.assignment.as_dict()
+    assert idx_trace.assignment.utility() == dict_trace.assignment.utility()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 4.0, 32.0]))
+def test_greedy_feasible_parity(seed, size, skew):
+    instance = smd_families(seed, *size, skew)
+    dict_solution = greedy_feasible(instance, engine="dict")
+    idx_solution = greedy_feasible(instance, engine="indexed")
+    assert idx_solution.as_dict() == dict_solution.as_dict()
+    assert idx_solution.utility() == dict_solution.utility()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES)
+def test_best_single_stream_parity(seed, size):
+    instance = random_unit_skew_smd(*size, seed=seed)
+    assert (
+        best_single_stream_assignment(instance, engine="indexed").as_dict()
+        == best_single_stream_assignment(instance, engine="dict").as_dict()
+    )
+    assert (
+        best_single_stream_mmd(instance, engine="indexed").as_dict()
+        == best_single_stream_mmd(instance, engine="dict").as_dict()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([2.0, 16.0]))
+def test_classify_and_select_parity(seed, size, skew):
+    instance = random_smd(*size, skew, seed=seed)
+
+    def dict_solver(inst):
+        return greedy_feasible(inst, engine="dict")
+
+    def indexed_solver(inst):
+        return greedy_feasible(inst, engine="indexed")
+
+    dict_solution = classify_and_select(instance, solve_class=dict_solver)
+    idx_solution = classify_and_select(instance, solve_class=indexed_solver)
+    assert idx_solution.as_dict() == dict_solution.as_dict()
+    assert idx_solution.utility() == dict_solution.utility()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 8.0]))
+def test_greedy_fill_parity(seed, size, skew):
+    instance = smd_families(seed, *size, skew)
+    dict_fill = greedy_fill(instance, Assignment(instance), engine="dict")
+    idx_fill = greedy_fill(instance, Assignment(instance), engine="indexed")
+    assert idx_fill.as_dict() == dict_fill.as_dict()
+    assert idx_fill.utility() == dict_fill.utility()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 4.0, 32.0]))
+def test_solve_mmd_parity_smd(seed, size, skew):
+    instance = smd_families(seed, *size, skew)
+    dict_result = solve_mmd(instance, engine="dict")
+    idx_result = solve_mmd(instance, engine="indexed")
+    assert idx_result.utility == dict_result.utility
+    assert idx_result.method == dict_result.method
+    assert idx_result.assignment.as_dict() == dict_result.assignment.as_dict()
+
+
+def test_greedy_fill_parity_with_zero_budget_measure():
+    """Regression: a vacuous zero-budget measure (validation forces all
+    costs on it to zero) must not divide by zero in either engine."""
+    import math
+
+    from repro.core.instance import MMDInstance, Stream, User
+
+    streams = [Stream("s0", (2.0, 0.0)), Stream("s1", (1.0, 0.0))]
+    users = [
+        User("u0", math.inf, (math.inf,), {"s0": 3.0, "s1": 1.0},
+             {"s0": (0.0,), "s1": (0.0,)}),
+    ]
+    instance = MMDInstance(streams, users, (3.0, 0.0))
+    dict_fill = greedy_fill(instance, Assignment(instance), engine="dict")
+    idx_fill = greedy_fill(instance, Assignment(instance), engine="indexed")
+    assert idx_fill.as_dict() == dict_fill.as_dict()
+    assert idx_fill.utility() == dict_fill.utility() == 4.0
+    dict_result = solve_mmd(instance, engine="dict")
+    idx_result = solve_mmd(instance, engine="indexed")
+    assert idx_result.utility == dict_result.utility
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    size=st.tuples(st.integers(2, 10), st.integers(1, 7)),
+    m=st.integers(1, 3),
+    mc=st.integers(0, 2),
+)
+def test_solve_mmd_parity_general(seed, size, m, mc):
+    instance = random_mmd(*size, m=m, mc=mc, seed=seed)
+    dict_result = solve_mmd(instance, engine="dict")
+    idx_result = solve_mmd(instance, engine="indexed")
+    assert idx_result.utility == dict_result.utility
+    assert idx_result.method == dict_result.method
+    assert idx_result.assignment.as_dict() == dict_result.assignment.as_dict()
+    assert (
+        idx_result.details["candidate_utilities"]
+        == dict_result.details["candidate_utilities"]
+    )

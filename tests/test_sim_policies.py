@@ -132,3 +132,26 @@ class TestRandomPolicy:
         view = ResourceView(workload)
         sid = workload.stream_ids()[0]
         assert policy.on_offer(sid, view)
+
+
+class TestDensityPolicyZeroBudget:
+    def test_zero_budget_measure_does_not_poison_cutoff(self):
+        """Regression: a vacuous zero-budget measure must not turn the
+        density cutoff into NaN (which silently admits everything)."""
+        import math
+
+        from repro.core.instance import MMDInstance, Stream, User
+
+        streams = [Stream("s0", (0.0, 2.0)), Stream("s1", (0.0, 1.0))]
+        users = [
+            User("u0", math.inf, (math.inf,), {"s0": 9.0, "s1": 1.0},
+                 {"s0": (0.0,), "s1": (0.0,)}),
+        ]
+        instance = MMDInstance(streams, users, (0.0, 3.0))
+        policy = DensityPolicy(quantile=0.9)
+        policy.bind(instance)
+        assert not math.isnan(policy._cutoff)
+        view = ResourceView(instance)
+        # s0 (density 4.5) clears the 0.9-quantile cutoff, s1 (1.0) does not.
+        assert policy.on_offer("s0", view)
+        assert not policy.on_offer("s1", view)

@@ -1,0 +1,118 @@
+"""Batch solve API (`solve_many`), the streaming sweep generator and the
+`repro solve-many` / `repro generate --count` CLI surfaces."""
+
+from __future__ import annotations
+
+import inspect
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.solver import iter_solve_many, solve_many, solve_mmd
+from repro.exceptions import ValidationError
+from repro.instances.generators import random_smd, sweep_instances
+
+
+class TestSolveMany:
+    def test_matches_per_instance_solve(self):
+        instances = [random_smd(8, 5, 4.0, seed=s) for s in range(4)]
+        batch = solve_many(instances)
+        singles = [solve_mmd(inst) for inst in instances]
+        assert [r.utility for r in batch] == [r.utility for r in singles]
+        assert [r.method for r in batch] == [r.method for r in singles]
+
+    def test_parallel_matches_serial(self):
+        instances = [random_smd(8, 5, 4.0, seed=s) for s in range(4)]
+        serial = solve_many(instances, parallel=1)
+        parallel = solve_many(instances, parallel=2)
+        assert [r.utility for r in parallel] == [r.utility for r in serial]
+        assert [r.assignment.as_dict() for r in parallel] == [
+            r.assignment.as_dict() for r in serial
+        ]
+
+    def test_accepts_generator_input(self):
+        results = solve_many(sweep_instances([6], [4], [1.0, 4.0], seed=3))
+        assert len(results) == 2
+        assert all(r.assignment.is_feasible() for r in results)
+
+    def test_rejects_bad_parallel(self):
+        with pytest.raises(ValidationError):
+            solve_many([], parallel=0)
+
+    def test_iter_solve_many_streams_lazily(self):
+        consumed = []
+
+        def tracked():
+            for s in range(3):
+                consumed.append(s)
+                yield random_smd(6, 4, 2.0, seed=s)
+
+        stream = iter_solve_many(tracked())
+        assert inspect.isgenerator(stream)
+        first = next(stream)
+        # Serial mode pulls one instance per yielded result.
+        assert consumed == [0]
+        assert first.assignment.is_feasible()
+        assert len(list(stream)) == 2
+
+
+class TestSweepInstances:
+    def test_is_streaming_generator(self):
+        gen = sweep_instances([10, 20], [5], [1.0])
+        assert inspect.isgenerator(gen)
+        first = next(gen)
+        assert first.num_streams == 10 and first.num_users == 5
+
+    def test_deterministic_grid(self):
+        a = list(sweep_instances([6], [4], [1.0, 8.0], seed=5))
+        b = list(sweep_instances([6], [4], [1.0, 8.0], seed=5))
+        assert len(a) == 2
+        assert [i.to_json() for i in a] == [i.to_json() for i in b]
+        assert a[0].name != a[1].name
+
+
+class TestCli:
+    def test_generate_count_streams_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "batch.jsonl"
+        code = main(
+            [
+                "generate", "--family", "smd", "--streams", "6", "--users", "4",
+                "--count", "3", "--seed", "11", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        lines = [l for l in out.read_text().splitlines() if l]
+        assert len(lines) == 3
+        # Distinct seeds produce distinct instances.
+        assert len({json.dumps(json.loads(l), sort_keys=True) for l in lines}) == 3
+
+    def test_solve_many_from_jsonl(self, tmp_path, capsys):
+        src = tmp_path / "in.jsonl"
+        out = tmp_path / "out.jsonl"
+        assert main(
+            ["generate", "--family", "smd", "--streams", "6", "--users", "4",
+             "--count", "2", "-o", str(src)]
+        ) == 0
+        assert main(["solve-many", "-i", str(src), "-o", str(out)]) == 0
+        rows = [json.loads(l) for l in out.read_text().splitlines() if l]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["feasible"] is True
+            assert row["utility"] > 0
+        # Summary table printed when writing to a file.
+        assert "solve-many" in capsys.readouterr().out
+
+    def test_solve_many_sweep_mode(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        assert main(
+            ["solve-many", "--sweep-streams", "6,8", "--sweep-users", "4",
+             "--sweep-skews", "1,4", "-o", str(out)]
+        ) == 0
+        rows = [json.loads(l) for l in out.read_text().splitlines() if l]
+        assert len(rows) == 4
+        assert {r["streams"] for r in rows} == {6, 8}
+
+    def test_solve_many_requires_input_or_sweep(self, capsys):
+        assert main(["solve-many"]) == 2
+        assert "solve-many needs" in capsys.readouterr().err
