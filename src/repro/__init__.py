@@ -74,6 +74,9 @@ from repro.core.reduction import (
 from repro.core.indexed import (
     IndexedAssignment,
     IndexedInstance,
+    build_indexed,
+    ensure_indexed,
+    ensure_instance,
     index_instance,
     resolve_engine,
 )
@@ -140,6 +143,9 @@ __all__ = [
     "IndexedInstance",
     "IndexedAssignment",
     "index_instance",
+    "build_indexed",
+    "ensure_instance",
+    "ensure_indexed",
     "resolve_engine",
     # end-to-end solvers and heuristics
     "solve_smd",

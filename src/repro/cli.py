@@ -5,6 +5,9 @@ Commands
 
 ``generate``
     Emit an instance (JSON) from a named family or workload.
+``validate``
+    Validate an instance file; ``--sanitize`` repairs utility entries
+    that violate the paper's overload convention.
 ``info``
     Print an instance's parameters: shape, skews, theorem bounds.
 ``solve``
@@ -48,17 +51,26 @@ from repro.instances.workloads import (
 )
 from repro.util.tables import Table
 
+def _gen_engine(args: argparse.Namespace) -> "str | None":
+    """The ``--gen-engine`` choice (None resolves via $REPRO_GEN_ENGINE)."""
+    return getattr(args, "gen_engine", None)
+
+
 #: Named generators reachable from ``generate --family``.
 FAMILIES = {
     "unit-skew-smd": lambda args: random_unit_skew_smd(
-        args.streams, args.users, seed=args.seed
+        args.streams, args.users, seed=args.seed, engine=_gen_engine(args)
     ),
-    "smd": lambda args: random_smd(args.streams, args.users, args.skew, seed=args.seed),
+    "smd": lambda args: random_smd(
+        args.streams, args.users, args.skew, seed=args.seed, engine=_gen_engine(args)
+    ),
     "mmd": lambda args: random_mmd(
-        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed
+        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed,
+        engine=_gen_engine(args),
     ),
     "small-streams": lambda args: small_streams_mmd(
-        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed
+        args.streams, args.users, m=args.m, mc=args.mc, seed=args.seed,
+        engine=_gen_engine(args),
     ),
     "tightness": lambda args: tightness_instance(args.m, args.mc),
     "cable-headend": lambda args: cable_headend_workload(
@@ -284,6 +296,7 @@ def cmd_solve_many(args: argparse.Namespace) -> int:
             _float_list(args.sweep_skews),
             seed=args.seed,
             density=args.density,
+            engine=args.gen_engine,
         )
     results = iter_solve_many(
         instances,
@@ -412,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--count", type=int, default=None,
                      help="emit COUNT instances as JSON Lines (seeds seed..seed+COUNT-1), "
                      "streaming one line at a time")
+    gen.add_argument("--gen-engine", choices=["vectorized", "loop"], default=None,
+                     help="draw engine for the random families (default: loop for "
+                     "seed-compatible output; vectorized draws whole instances "
+                     "with batched numpy calls; $REPRO_GEN_ENGINE overrides)")
     gen.add_argument("--output", "-o", default="-")
     gen.set_defaults(func=cmd_generate)
 
@@ -456,6 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("--method", choices=["greedy", "enumeration"], default="greedy")
     many.add_argument("--engine", choices=["indexed", "dict"], default=None,
                       help="hot-path implementation (default: indexed)")
+    many.add_argument("--gen-engine", choices=["vectorized", "loop"], default=None,
+                      help="sweep generation engine (default: vectorized — instances "
+                      "stream as index-native arrays; loop reproduces the "
+                      "seed-compatible dict generators)")
     many.add_argument("--parallel", "-j", type=int, default=1,
                       help="worker processes (1 = in-process)")
     many.add_argument("--output", "-o", default="-",

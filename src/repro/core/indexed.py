@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
+from repro.core.instance import FEASIBILITY_RTOL, MMDInstance, Stream, User
 from repro.exceptions import ValidationError
 
 #: Attribute under which the lowering is cached on the MMDInstance.
@@ -63,10 +63,21 @@ def resolve_engine(engine: "str | None" = None) -> str:
 class IndexedInstance:
     """Integer-indexed, numpy-backed view of an :class:`MMDInstance`.
 
+    An ``IndexedInstance`` is usually obtained by *lowering* an existing
+    :class:`MMDInstance` via :func:`index_instance`, but it can also be
+    built **directly from arrays** (no dict detour) by the vectorized
+    generators in :mod:`repro.instances.vectorized`; in that case
+    ``instance`` starts out ``None`` and :meth:`lift` materializes the
+    string-keyed object model on demand.
+
     Attributes
     ----------
     instance:
-        The source instance (round-tripping back to string ids).
+        The source instance (round-tripping back to string ids), or
+        ``None`` for array-native instances that have not been lifted
+        yet (see :meth:`lift`).
+    name:
+        Human-readable label, mirroring :attr:`MMDInstance.name`.
     stream_ids / user_ids:
         Index → id tables (``stream_ids[k]`` is the id of stream ``k``).
     stream_index / user_index:
@@ -100,7 +111,7 @@ class IndexedInstance:
         stream-major pair (for fast membership tests).
     """
 
-    instance: MMDInstance
+    instance: "MMDInstance | None"
     stream_ids: "list[str]"
     user_ids: "list[str]"
     stream_index: "dict[str, int]"
@@ -122,6 +133,7 @@ class IndexedInstance:
     s_loads: np.ndarray
     s_pair_stream: np.ndarray
     s_pair_key: np.ndarray
+    name: str = ""
     _derived: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -130,27 +142,95 @@ class IndexedInstance:
 
     @property
     def num_streams(self) -> int:
+        """Number of streams in the catalog (``|S|``)."""
         return len(self.stream_ids)
 
     @property
     def num_users(self) -> int:
+        """Number of users (``|U|``)."""
         return len(self.user_ids)
 
     @property
     def nnz(self) -> int:
+        """Number of positive-utility (user, stream) pairs."""
         return int(self.u_w.shape[0])
 
     @property
     def m(self) -> int:
+        """Number of server budget measures."""
         return int(self.budgets.shape[0])
 
     @property
     def mc(self) -> int:
+        """Number of capacity measures per user."""
         return int(self.capacities.shape[1])
 
     # ------------------------------------------------------------------
     # Round-tripping
     # ------------------------------------------------------------------
+
+    def lift(self) -> MMDInstance:
+        """Materialize (and cache) the string-keyed :class:`MMDInstance`.
+
+        For lowered instances this returns the original object.  For
+        array-native instances (built by the vectorized generators) it
+        constructs the dict model **once** from the CSR arrays — per-user
+        utility/load dicts in user-major row order, so re-lowering the
+        lifted instance reproduces these exact arrays (asserted by
+        ``tests/test_vectorized.py``) — and attaches ``self`` as the
+        lifted instance's cached lowering, so no solver ever re-lowers.
+        """
+        if self.instance is None:
+            mc = self.mc
+            streams = [
+                Stream(sid, tuple(float(c) for c in self.stream_costs[k]))
+                for k, sid in enumerate(self.stream_ids)
+            ]
+            users = []
+            stream_ids = self.stream_ids
+            for u, uid in enumerate(self.user_ids):
+                lo, hi = int(self.u_indptr[u]), int(self.u_indptr[u + 1])
+                row_sids = [stream_ids[int(k)] for k in self.u_stream[lo:hi]]
+                utilities = {
+                    sid: float(w) for sid, w in zip(row_sids, self.u_w[lo:hi])
+                }
+                loads = {
+                    sid: tuple(float(x) for x in vec)
+                    for sid, vec in zip(row_sids, self.u_loads[lo:hi])
+                }
+                users.append(
+                    User(
+                        user_id=uid,
+                        utility_cap=float(self.utility_caps[u]),
+                        capacities=tuple(float(k) for k in self.capacities[u, :mc]),
+                        utilities=utilities,
+                        loads=loads,
+                    )
+                )
+            instance = MMDInstance(
+                streams,
+                users,
+                tuple(float(b) for b in self.budgets),
+                name=self.name,
+            )
+            setattr(instance, _CACHE_ATTR, self)
+            self.instance = instance
+        return self.instance
+
+    def to_dict(self) -> dict:
+        """Plain-dict form — :meth:`MMDInstance.to_dict` of the lift."""
+        return self.lift().to_dict()
+
+    def to_json(self) -> str:
+        """JSON form — :meth:`MMDInstance.to_json` of the lift."""
+        return self.lift().to_json()
+
+    def __repr__(self) -> str:
+        """Compact shape summary (mirrors :meth:`MMDInstance.__repr__`)."""
+        return (
+            f"IndexedInstance(name={self.name!r}, |S|={self.num_streams}, "
+            f"|U|={self.num_users}, nnz={self.nnz}, m={self.m}, mc={self.mc})"
+        )
 
     def stream_ids_of(self, indices) -> "list[str]":
         """Map stream indices back to string ids."""
@@ -212,6 +292,75 @@ def _rank_of(ids: "list[str]") -> np.ndarray:
     return rank
 
 
+def build_indexed(
+    *,
+    stream_ids: "list[str]",
+    user_ids: "list[str]",
+    stream_costs: np.ndarray,
+    budgets: np.ndarray,
+    utility_caps: np.ndarray,
+    capacities: np.ndarray,
+    u_indptr: np.ndarray,
+    u_stream: np.ndarray,
+    u_w: np.ndarray,
+    u_loads: np.ndarray,
+    instance: "MMDInstance | None" = None,
+    name: str = "",
+) -> IndexedInstance:
+    """Assemble an :class:`IndexedInstance` from user-major arrays.
+
+    The caller supplies the id tables, the dense cost/budget/cap arrays
+    and the user-major CSR pair arrays (rows in each user's intended
+    dict-insertion order); this helper derives everything else — the
+    stream-major layout via a stable sort (per stream, users stay in
+    instance order), the lexicographic rank tables, the id→index maps
+    and the combined pair keys.  Both :func:`index_instance` (lowering a
+    dict instance) and the vectorized generators (array-native
+    construction) funnel through here, so the derived layout is
+    identical no matter which side produced the arrays.
+    """
+    num_streams, num_users = len(stream_ids), len(user_ids)
+    degrees = np.diff(u_indptr)
+    u_pair_user = np.repeat(np.arange(num_users, dtype=np.int64), degrees)
+
+    # Stream-major layout via a stable sort: per stream, users stay in
+    # instance order — exactly the order interested-user lists are built.
+    perm = np.argsort(u_stream, kind="stable")
+    s_pair_stream = u_stream[perm]
+    s_user = u_pair_user[perm]
+    s_w = u_w[perm]
+    s_loads = u_loads[perm, :]
+    s_indptr = np.zeros(num_streams + 1, dtype=np.int64)
+    np.cumsum(np.bincount(s_pair_stream, minlength=num_streams), out=s_indptr[1:])
+    s_pair_key = s_user * np.int64(max(num_streams, 1)) + s_pair_stream
+
+    return IndexedInstance(
+        instance=instance,
+        stream_ids=stream_ids,
+        user_ids=user_ids,
+        stream_index={sid: k for k, sid in enumerate(stream_ids)},
+        user_index={uid: u for u, uid in enumerate(user_ids)},
+        stream_rank=_rank_of(stream_ids),
+        user_rank=_rank_of(user_ids),
+        stream_costs=stream_costs,
+        budgets=budgets,
+        utility_caps=utility_caps,
+        capacities=capacities,
+        u_indptr=u_indptr,
+        u_stream=u_stream,
+        u_w=u_w,
+        u_loads=u_loads,
+        u_pair_user=u_pair_user,
+        s_indptr=s_indptr,
+        s_user=s_user,
+        s_w=s_w,
+        s_loads=s_loads,
+        s_pair_stream=s_pair_stream,
+        s_pair_key=s_pair_key,
+        name=name,
+    )
+
+
 def index_instance(instance: MMDInstance) -> IndexedInstance:
     """Lower an instance to its indexed form (cached on the instance)."""
     cached = getattr(instance, _CACHE_ATTR, None)
@@ -221,7 +370,6 @@ def index_instance(instance: MMDInstance) -> IndexedInstance:
     stream_ids = [s.stream_id for s in instance.streams]
     user_ids = [u.user_id for u in instance.users]
     stream_index = {sid: k for k, sid in enumerate(stream_ids)}
-    user_index = {uid: u for u, uid in enumerate(user_ids)}
     num_streams, num_users = len(stream_ids), len(user_ids)
     m, mc = instance.m, instance.mc
 
@@ -252,27 +400,10 @@ def index_instance(instance: MMDInstance) -> IndexedInstance:
             if vec is not None:
                 u_loads[pos, :] = vec
             pos += 1
-    u_pair_user = np.repeat(np.arange(num_users, dtype=np.int64), degrees)
 
-    # Stream-major layout via a stable sort: per stream, users stay in
-    # instance order — exactly the order interested-user lists are built.
-    perm = np.argsort(u_stream, kind="stable")
-    s_pair_stream = u_stream[perm]
-    s_user = u_pair_user[perm]
-    s_w = u_w[perm]
-    s_loads = u_loads[perm, :]
-    s_indptr = np.zeros(num_streams + 1, dtype=np.int64)
-    np.cumsum(np.bincount(s_pair_stream, minlength=num_streams), out=s_indptr[1:])
-    s_pair_key = s_user * np.int64(max(num_streams, 1)) + s_pair_stream
-
-    idx = IndexedInstance(
-        instance=instance,
+    idx = build_indexed(
         stream_ids=stream_ids,
         user_ids=user_ids,
-        stream_index=stream_index,
-        user_index=user_index,
-        stream_rank=_rank_of(stream_ids),
-        user_rank=_rank_of(user_ids),
         stream_costs=stream_costs,
         budgets=budgets,
         utility_caps=utility_caps,
@@ -281,19 +412,33 @@ def index_instance(instance: MMDInstance) -> IndexedInstance:
         u_stream=u_stream,
         u_w=u_w,
         u_loads=u_loads,
-        u_pair_user=u_pair_user,
-        s_indptr=s_indptr,
-        s_user=s_user,
-        s_w=s_w,
-        s_loads=s_loads,
-        s_pair_stream=s_pair_stream,
-        s_pair_key=s_pair_key,
+        instance=instance,
+        name=instance.name,
     )
     try:
         setattr(instance, _CACHE_ATTR, idx)
     except AttributeError:  # pragma: no cover - exotic instance subclass
         pass
     return idx
+
+
+def ensure_instance(obj: "MMDInstance | IndexedInstance") -> MMDInstance:
+    """Coerce to the string-keyed model, lifting an :class:`IndexedInstance`.
+
+    The public solvers accept either representation; array-native
+    instances coming off the vectorized generators are lifted lazily
+    here (once — the lift is cached both ways).
+    """
+    if isinstance(obj, IndexedInstance):
+        return obj.lift()
+    return obj
+
+
+def ensure_indexed(obj: "MMDInstance | IndexedInstance") -> IndexedInstance:
+    """Coerce to the array-native form, lowering an :class:`MMDInstance`."""
+    if isinstance(obj, IndexedInstance):
+        return obj
+    return index_instance(obj)
 
 
 def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -808,10 +953,13 @@ class IndexedAssignment:
         )
 
     def is_server_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """True when every budget cap holds: ``c_i(A) <= B_i`` for all ``i``."""
         return bool(np.all(self.server_costs() <= self.idx.budgets * (1 + rtol)))
 
     def is_user_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """True when every capacity cap holds: ``k^u_j(A) <= K^u_j`` for all ``u, j``."""
         return bool(np.all(self.user_loads() <= self.idx.capacities * (1 + rtol)))
 
     def is_feasible(self, rtol: float = FEASIBILITY_RTOL) -> bool:
+        """True when the assignment satisfies both budget and capacity caps."""
         return self.is_server_feasible(rtol) and self.is_user_feasible(rtol)

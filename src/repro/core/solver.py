@@ -39,8 +39,10 @@ from repro.core.greedy import (
     greedy_feasible,
 )
 from repro.core.indexed import (
+    IndexedInstance,
     assigned_pair_mask,
     best_single_stream_kernel,
+    ensure_instance,
     fill_kernel,
     index_instance,
     resolve_engine,
@@ -277,7 +279,9 @@ def _class_factor(method: str) -> float:
 
 
 def solve_smd(
-    instance: MMDInstance, method: str = "greedy", engine: "str | None" = None
+    instance: "MMDInstance | IndexedInstance",
+    method: str = "greedy",
+    engine: "str | None" = None,
 ) -> SolveResult:
     """Solve a single-budget instance (Theorem 2.8 / 2.10 / 3.1 paths).
 
@@ -285,7 +289,10 @@ def solve_smd(
     ``O(n²)`` Theorem 2.8 algorithm) or ``"enumeration"`` (the slower
     Theorem 2.10 algorithm with the sharper constant).  ``engine``
     selects the greedy/fill implementation (see :func:`repro.core.greedy.greedy`).
+    Array-native :class:`IndexedInstance` inputs (from the vectorized
+    generators) are accepted and lifted lazily.
     """
+    instance = ensure_instance(instance)
     if instance.m != 1:
         raise ValidationError("solve_smd requires a single server budget; use solve_mmd")
     if instance.mc > 1:
@@ -327,7 +334,7 @@ def solve_smd(
 
 
 def solve_mmd(
-    instance: MMDInstance,
+    instance: "MMDInstance | IndexedInstance",
     method: str = "greedy",
     try_allocate: bool = True,
     engine: "str | None" = None,
@@ -336,8 +343,12 @@ def solve_mmd(
 
     Also runs the Theorem 1.2 online algorithm when its small-streams
     precondition holds, and always considers the best single stream;
-    the best feasible candidate wins.
+    the best feasible candidate wins.  Array-native
+    :class:`IndexedInstance` inputs (from the vectorized generators) are
+    accepted and lifted lazily — the attached lowering is reused, never
+    rebuilt.
     """
+    instance = ensure_instance(instance)
     converted = utility_cap_as_capacity(instance)
     candidates: "list[tuple[str, Assignment]]" = []
     details: "dict[str, object]" = {
@@ -403,7 +414,7 @@ def _solve_one(args: "tuple[MMDInstance, str, bool, str | None]") -> SolveResult
 
 
 def iter_solve_many(
-    instances: "Iterable[MMDInstance]",
+    instances: "Iterable[MMDInstance | IndexedInstance]",
     *,
     method: str = "greedy",
     try_allocate: bool = True,
@@ -415,7 +426,12 @@ def iter_solve_many(
     Instances are pulled from the iterable lazily and results are
     yielded as soon as they (and all their predecessors) complete, so a
     sweep generator piped through this never holds more than
-    ``O(parallel)`` instances/results alive at once.
+    ``O(parallel)`` instances/results alive at once.  Items may be
+    :class:`MMDInstance` or array-native :class:`IndexedInstance`
+    objects (the default output of
+    :func:`repro.instances.generators.sweep_instances`); in parallel
+    mode the lazy lift then happens inside the workers, so the dict
+    model is built N-wide while the producer keeps generating arrays.
     """
     if parallel < 1:
         raise ValidationError(f"parallel must be >= 1, got {parallel}")
@@ -438,7 +454,7 @@ def iter_solve_many(
 
 
 def solve_many(
-    instances: "Iterable[MMDInstance]",
+    instances: "Iterable[MMDInstance | IndexedInstance]",
     *,
     method: str = "greedy",
     try_allocate: bool = True,
@@ -450,8 +466,10 @@ def solve_many(
     Parameters
     ----------
     instances:
-        Any iterable of instances — a list, or a streaming generator
-        such as :func:`repro.instances.generators.sweep_instances`
+        Any iterable of :class:`MMDInstance` and/or array-native
+        :class:`IndexedInstance` items — a list, or a streaming
+        generator such as
+        :func:`repro.instances.generators.sweep_instances`
         (consumed lazily).
     method / try_allocate / engine:
         Forwarded to :func:`solve_mmd` per instance.

@@ -4,6 +4,10 @@
   controlled parameters (skew, budget tightness, small-streams
   precondition), embeddings of classical problems (knapsack, budgeted
   maximum coverage), and the paper's §4.2 tightness family.
+- :mod:`repro.instances.vectorized` — the same random families drawn
+  with batched numpy calls, producing array-native
+  :class:`~repro.core.indexed.IndexedInstance` objects directly (the
+  fast path for large sweeps).
 - :mod:`repro.instances.catalog` — synthetic channel catalogs (genres,
   bitrate tiers, server cost models).
 - :mod:`repro.instances.population` — synthetic user populations with
@@ -20,9 +24,18 @@ from repro.instances.generators import (
     random_smd,
     random_unit_skew_smd,
     small_streams_mmd,
+    sweep_instances,
     tightness_instance,
 )
 from repro.instances.population import PopulationConfig, build_population
+from repro.instances.vectorized import (
+    generate_mmd,
+    generate_small_streams_mmd,
+    generate_smd,
+    generate_unit_skew_smd,
+    resolve_gen_engine,
+    sweep_indexed_instances,
+)
 from repro.instances.workloads import (
     cable_headend_workload,
     iptv_neighborhood_workload,
@@ -38,7 +51,14 @@ __all__ = [
     "random_smd",
     "random_unit_skew_smd",
     "small_streams_mmd",
+    "sweep_instances",
     "tightness_instance",
+    "generate_unit_skew_smd",
+    "generate_smd",
+    "generate_mmd",
+    "generate_small_streams_mmd",
+    "sweep_indexed_instances",
+    "resolve_gen_engine",
     "PopulationConfig",
     "build_population",
     "cable_headend_workload",

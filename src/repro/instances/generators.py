@@ -10,6 +10,28 @@ The families are chosen to exercise specific paper regimes:
 - :func:`tightness_instance` — the explicit §4.2 family (E6);
 - :func:`knapsack_instance` / :func:`max_coverage_instance` — the
   classical special cases the paper cites as hardness sources (§1).
+
+The four random families take an ``engine`` argument:
+
+- ``"loop"`` (the default here) — the original per-(user, stream)
+  Python RNG loops, kept **seed-compatible** so existing fixtures
+  reproduce bit-exactly;
+- ``"vectorized"`` — delegate to the batched array path of
+  :mod:`repro.instances.vectorized` and lift the result (different,
+  equally distributed draws for the same seed; ~10–100× faster at
+  scale).
+
+``$REPRO_GEN_ENGINE`` overrides the default.  :func:`sweep_instances`
+defaults to the vectorized engine and then yields **array-native**
+:class:`~repro.core.indexed.IndexedInstance` objects, which every
+solver entry point accepts directly.
+
+Degenerate-draw edges (``density <= 0``) take a deterministic
+round-robin fallback — user ``j`` wants exactly stream ``j mod |S|`` —
+instead of burning per-pair draws that can never succeed.  The loop and
+vectorized engines then agree bit-exactly for the SMD families (and for
+``random_mmd`` when the draw ranges are degenerate too); see
+:mod:`repro.instances.vectorized` for the full agreement contract.
 """
 
 from __future__ import annotations
@@ -21,6 +43,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.core.allocate import global_skew_parameters
+from repro.core.indexed import IndexedInstance
 from repro.core.instance import MMDInstance, Stream, User
 from repro.exceptions import ValidationError
 from repro.util.rng import ensure_rng
@@ -39,6 +62,7 @@ def random_unit_skew_smd(
     density: float = 0.6,
     budget_fraction: float = 0.3,
     cap_fraction: float = 0.5,
+    engine: "str | None" = None,
 ) -> MMDInstance:
     """A §2-setting instance: one server budget, loads equal utilities,
     capacities equal to utility caps.
@@ -46,14 +70,33 @@ def random_unit_skew_smd(
     Parameters
     ----------
     density:
-        Probability that a given user wants a given stream.
+        Probability that a given user wants a given stream.  ``<= 0``
+        takes the deterministic round-robin fallback (user ``j`` wants
+        stream ``j mod |S|`` only).
     budget_fraction:
         Server budget as a fraction of the total stream cost (smaller
         means a tighter knapsack).
     cap_fraction:
         Each user's utility cap as a fraction of his total utility
         (``1.0`` effectively removes the cap's bite).
+    engine:
+        ``"loop"`` (default; seed-compatible) or ``"vectorized"``
+        (batched draws via :mod:`repro.instances.vectorized`, lifted).
     """
+    from repro.instances.vectorized import generate_unit_skew_smd, resolve_gen_engine
+
+    if resolve_gen_engine(engine, default="loop") == "vectorized":
+        return generate_unit_skew_smd(
+            num_streams,
+            num_users,
+            seed=seed,
+            cost_range=cost_range,
+            utility_range=utility_range,
+            density=density,
+            budget_fraction=budget_fraction,
+            cap_fraction=cap_fraction,
+            engine="vectorized",
+        ).lift()
     rng = ensure_rng(seed)
     streams = [
         Stream(f"s{i:03d}", (_draw(rng, *cost_range),)) for i in range(num_streams)
@@ -65,9 +108,12 @@ def random_unit_skew_smd(
     users = []
     for j in range(num_users):
         utilities: dict[str, float] = {}
-        for s in streams:
-            if rng.random() < density:
-                utilities[s.stream_id] = _draw(rng, *utility_range)
+        if density <= 0.0 and streams:
+            utilities[streams[j % len(streams)].stream_id] = _draw(rng, *utility_range)
+        else:
+            for s in streams:
+                if rng.random() < density:
+                    utilities[s.stream_id] = _draw(rng, *utility_range)
         if not utilities and streams:
             sid = streams[int(rng.integers(0, len(streams)))].stream_id
             utilities[sid] = _draw(rng, *utility_range)
@@ -95,15 +141,33 @@ def random_smd(
     density: float = 0.6,
     budget_fraction: float = 0.3,
     capacity_fraction: float = 0.5,
+    engine: "str | None" = None,
 ) -> MMDInstance:
     """A single-budget instance with local skew at most ``skew``.
 
     Loads are ``k_u(S) = w_u(S) / r`` with per-pair cost-benefit ratios
     ``r`` drawn log-uniformly from ``[1, skew]``; utility caps are
     infinite (the §3 setting), the single capacity constraint binds.
+    ``engine`` selects the loop (default, seed-compatible) or the
+    vectorized draw path.
     """
     if skew < 1.0:
         raise ValidationError(f"skew must be >= 1, got {skew}")
+    from repro.instances.vectorized import generate_smd, resolve_gen_engine
+
+    if resolve_gen_engine(engine, default="loop") == "vectorized":
+        return generate_smd(
+            num_streams,
+            num_users,
+            skew,
+            seed=seed,
+            cost_range=cost_range,
+            utility_range=utility_range,
+            density=density,
+            budget_fraction=budget_fraction,
+            capacity_fraction=capacity_fraction,
+            engine="vectorized",
+        ).lift()
     rng = ensure_rng(seed)
     streams = [
         Stream(f"s{i:03d}", (_draw(rng, *cost_range),)) for i in range(num_streams)
@@ -116,12 +180,18 @@ def random_smd(
     for j in range(num_users):
         utilities: dict[str, float] = {}
         loads: dict[str, tuple[float, ...]] = {}
-        for s in streams:
-            if rng.random() < density:
-                w = _draw(rng, *utility_range)
-                ratio = float(np.exp(rng.uniform(0.0, math.log(skew)))) if skew > 1 else 1.0
-                utilities[s.stream_id] = w
-                loads[s.stream_id] = (w / ratio,)
+        if density <= 0.0 and streams:
+            sid = streams[j % len(streams)].stream_id
+            w = _draw(rng, *utility_range)
+            utilities[sid] = w
+            loads[sid] = (w,)
+        else:
+            for s in streams:
+                if rng.random() < density:
+                    w = _draw(rng, *utility_range)
+                    ratio = float(np.exp(rng.uniform(0.0, math.log(skew)))) if skew > 1 else 1.0
+                    utilities[s.stream_id] = w
+                    loads[s.stream_id] = (w / ratio,)
         if not utilities and streams:
             sid = streams[int(rng.integers(0, len(streams)))].stream_id
             w = _draw(rng, *utility_range)
@@ -153,12 +223,30 @@ def random_mmd(
     density: float = 0.6,
     budget_fraction: float = 0.35,
     capacity_fraction: float = 0.5,
+    engine: "str | None" = None,
 ) -> MMDInstance:
     """A general MMD instance with ``m`` server budgets and ``mc``
     capacity measures per user; utility caps are infinite (the formal
-    §1.1 model)."""
+    §1.1 model).  ``engine`` selects the loop (default, seed-compatible)
+    or the vectorized draw path."""
     if m < 1 or mc < 0:
         raise ValidationError(f"need m >= 1 and mc >= 0, got m={m}, mc={mc}")
+    from repro.instances.vectorized import generate_mmd, resolve_gen_engine
+
+    if resolve_gen_engine(engine, default="loop") == "vectorized":
+        return generate_mmd(
+            num_streams,
+            num_users,
+            m,
+            mc,
+            seed=seed,
+            cost_range=cost_range,
+            utility_range=utility_range,
+            density=density,
+            budget_fraction=budget_fraction,
+            capacity_fraction=capacity_fraction,
+            engine="vectorized",
+        ).lift()
     rng = ensure_rng(seed)
     streams = []
     for i in range(num_streams):
@@ -173,12 +261,17 @@ def random_mmd(
     for j in range(num_users):
         utilities: dict[str, float] = {}
         loads: dict[str, tuple[float, ...]] = {}
-        for s in streams:
-            if rng.random() < density:
-                utilities[s.stream_id] = _draw(rng, *utility_range)
-                loads[s.stream_id] = tuple(
-                    _draw(rng, *cost_range) for _ in range(mc)
-                )
+        if density <= 0.0 and streams:
+            sid = streams[j % len(streams)].stream_id
+            utilities[sid] = _draw(rng, *utility_range)
+            loads[sid] = tuple(_draw(rng, *cost_range) for _ in range(mc))
+        else:
+            for s in streams:
+                if rng.random() < density:
+                    utilities[s.stream_id] = _draw(rng, *utility_range)
+                    loads[s.stream_id] = tuple(
+                        _draw(rng, *cost_range) for _ in range(mc)
+                    )
         if not utilities and streams:
             sid = streams[int(rng.integers(0, len(streams)))].stream_id
             utilities[sid] = _draw(rng, *utility_range)
@@ -208,6 +301,7 @@ def small_streams_mmd(
     seed: "int | np.random.Generator | None" = None,
     headroom: float = 1.5,
     density: float = 0.6,
+    engine: "str | None" = None,
 ) -> MMDInstance:
     """An instance satisfying the Theorem 1.2 small-streams precondition.
 
@@ -215,9 +309,24 @@ def small_streams_mmd(
     scale-invariant in the budgets, so the budgets are then set to
     ``headroom · log₂(µ) · max cost`` per measure, which makes
     ``c_i(S) ≤ B_i / log₂ µ`` hold with ``headroom`` to spare.
+    ``engine`` selects the loop (default, seed-compatible) or the
+    vectorized draw path.
     """
     if headroom < 1.0:
         raise ValidationError(f"headroom must be >= 1, got {headroom}")
+    from repro.instances.vectorized import generate_small_streams_mmd, resolve_gen_engine
+
+    if resolve_gen_engine(engine, default="loop") == "vectorized":
+        return generate_small_streams_mmd(
+            num_streams,
+            num_users,
+            m=m,
+            mc=mc,
+            seed=seed,
+            headroom=headroom,
+            density=density,
+            engine="vectorized",
+        ).lift()
     rng = ensure_rng(seed)
     base = random_mmd(
         num_streams,
@@ -230,12 +339,13 @@ def small_streams_mmd(
         density=density,
         budget_fraction=1.0,  # placeholder; budgets replaced below
         capacity_fraction=1.0,
+        engine="loop",
     )
     _gamma, mu, _d = global_skew_parameters(base)
     log_mu = math.log2(mu)
     budgets = []
     for i in range(m):
-        biggest = max(s.costs[i] for s in base.streams)
+        biggest = max((s.costs[i] for s in base.streams), default=0.0)
         budgets.append(headroom * log_mu * biggest)
     users = []
     for u in base.users:
@@ -262,7 +372,8 @@ def sweep_instances(
     seed: int = 0,
     density: float = 0.05,
     budget_fraction: float = 0.3,
-) -> "Iterator[MMDInstance]":
+    engine: "str | None" = None,
+) -> "Iterator[MMDInstance | IndexedInstance]":
     """Stream a catalog × population × skew grid of SMD instances.
 
     A generator (constant memory): each instance is built only when the
@@ -274,7 +385,28 @@ def sweep_instances(
     Instances are deterministic given ``seed``: grid cell ``t`` uses
     ``seed + t``.  ``skew == 1`` cells use the §2 unit-skew family,
     other cells the bounded-skew family.
+
+    With ``engine="vectorized"`` (the default here — sweeps are exactly
+    the workload the batched path exists for) the yielded items are
+    **array-native** :class:`~repro.core.indexed.IndexedInstance`
+    objects; every solver entry point (:func:`~repro.core.solver.solve_mmd`,
+    :func:`~repro.core.solver.solve_many`, the CLI) accepts them
+    directly and lifts the dict model only if something needs it.
+    ``engine="loop"`` yields seed-compatible :class:`MMDInstance`
+    objects exactly as before.
     """
+    from repro.instances.vectorized import resolve_gen_engine, sweep_indexed_instances
+
+    if resolve_gen_engine(engine, default="vectorized") == "vectorized":
+        yield from sweep_indexed_instances(
+            stream_counts,
+            user_counts,
+            skews,
+            seed=seed,
+            density=density,
+            budget_fraction=budget_fraction,
+        )
+        return
     grid = itertools.product(stream_counts, user_counts, skews)
     for t, (num_streams, num_users, skew) in enumerate(grid):
         if skew <= 1.0:
@@ -284,6 +416,7 @@ def sweep_instances(
                 seed=seed + t,
                 density=density,
                 budget_fraction=budget_fraction,
+                engine="loop",
             )
         else:
             inst = random_smd(
@@ -293,6 +426,7 @@ def sweep_instances(
                 seed=seed + t,
                 density=density,
                 budget_fraction=budget_fraction,
+                engine="loop",
             )
         inst.name = f"sweep[s={num_streams},u={num_users},a={skew:g},seed={seed + t}]"
         yield inst

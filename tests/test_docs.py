@@ -1,0 +1,54 @@
+"""Docs can't rot: run the docs/ code blocks and the quickstart example.
+
+Mirrors the CI doc-examples step (``python -m doctest docs/*.md`` +
+``python examples/quickstart.py``) so the check also runs locally in
+the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import doctest
+import runpy
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = sorted((ROOT / "docs").glob("*.md"))
+
+
+def test_docs_exist():
+    names = {p.name for p in DOCS}
+    assert {"architecture.md", "api.md", "experiments.md"} <= names
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_docs_doctests(path):
+    results = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0, f"{path.name} has no runnable examples"
+    assert results.failed == 0, f"{results.failed} doctest failures in {path.name}"
+
+
+def test_quickstart_example_runs(capsys):
+    runpy.run_path(str(ROOT / "examples" / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "utility" in out
+    assert "exact OPT" in out
+
+
+def test_readme_documents_every_cli_subcommand():
+    from repro.cli import build_parser
+
+    readme = (ROOT / "README.md").read_text()
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions if a.dest == "command"  # noqa: SLF001
+    )
+    for command in subparsers.choices:
+        assert f"repro {command}" in readme, (
+            f"README.md does not document the `repro {command}` subcommand"
+        )

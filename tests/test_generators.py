@@ -96,6 +96,76 @@ class TestSmallStreams:
             small_streams_mmd(5, 2, headroom=0.5, seed=1)
 
 
+class TestDegenerateDraws:
+    """Degenerate-draw edges where the loop and vectorized engines must
+    agree exactly (regression tests for the PR-2 fixes)."""
+
+    def test_density_zero_is_deterministic_round_robin(self):
+        # density<=0 consumes no pair randomness: with degenerate draw
+        # ranges the instance is identical regardless of seed, and user
+        # j gets exactly stream j mod |S|.
+        kwargs = dict(
+            density=0.0, cost_range=(2.0, 2.0), utility_range=(3.0, 3.0)
+        )
+        a = random_unit_skew_smd(4, 7, seed=1, **kwargs)
+        b = random_unit_skew_smd(4, 7, seed=99, **kwargs)
+        assert a == b
+        for j, u in enumerate(a.users):
+            assert set(u.utilities) == {f"s{j % 4:03d}"}
+
+    def test_density_zero_engines_agree(self):
+        for loop, vec in [
+            (
+                random_unit_skew_smd(5, 8, seed=2, density=0.0),
+                random_unit_skew_smd(5, 8, seed=2, density=0.0, engine="vectorized"),
+            ),
+            (
+                random_smd(5, 8, 8.0, seed=2, density=0.0),
+                random_smd(5, 8, 8.0, seed=2, density=0.0, engine="vectorized"),
+            ),
+        ]:
+            assert loop == vec
+
+    def test_density_zero_mmd_agrees_with_degenerate_ranges(self):
+        # random_mmd interleaves utility/load draws per user in the loop
+        # engine, so density-zero agreement additionally needs constant
+        # draw ranges (see the vectorized module's agreement contract).
+        kwargs = dict(
+            seed=2, density=0.0, cost_range=(2.0, 2.0), utility_range=(3.0, 3.0)
+        )
+        assert random_mmd(5, 8, m=2, mc=2, **kwargs) == random_mmd(
+            5, 8, m=2, mc=2, engine="vectorized", **kwargs
+        )
+
+    def test_degenerate_ranges_engines_agree(self):
+        kwargs = dict(cost_range=(2.0, 2.0), utility_range=(3.0, 3.0), density=1.0)
+        assert random_unit_skew_smd(5, 4, seed=1, **kwargs) == random_unit_skew_smd(
+            5, 4, seed=1, engine="vectorized", **kwargs
+        )
+        assert random_mmd(5, 4, m=2, mc=2, seed=1, **kwargs) == random_mmd(
+            5, 4, m=2, mc=2, seed=1, engine="vectorized", **kwargs
+        )
+
+    def test_zero_stream_catalogs(self):
+        for inst in (
+            random_unit_skew_smd(0, 3, seed=1),
+            random_smd(0, 3, 4.0, seed=1),
+            random_mmd(0, 3, m=2, mc=1, seed=1),
+            small_streams_mmd(0, 3, seed=1),  # crashed before the fix
+        ):
+            assert inst.num_streams == 0
+            assert inst.num_users == 3
+            assert all(not u.utilities for u in inst.users)
+
+    def test_zero_stream_engines_agree(self):
+        assert small_streams_mmd(0, 3, seed=1) == small_streams_mmd(
+            0, 3, seed=1, engine="vectorized"
+        )
+        assert random_smd(0, 3, 4.0, seed=1) == random_smd(
+            0, 3, 4.0, seed=1, engine="vectorized"
+        )
+
+
 class TestTightness:
     def test_shape(self):
         inst = tightness_instance(3, 2)
