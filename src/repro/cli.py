@@ -372,13 +372,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     instance = WORKLOADS[args.workload](seed=args.seed)
-    model = ArrivalModel(rate=args.rate, mean_duration=args.duration)
+    model = ArrivalModel(
+        rate=args.rate,
+        mean_duration=args.duration,
+        popularity_exponent=args.popularity,
+    )
     reports = compare_policies(
         instance,
         [policy_factories[p]() for p in args.policies],
         horizon=args.horizon,
         model=model,
         seed=args.seed,
+        engine=args.engine,
+        parallel=args.parallel,
     )
     table = Table(
         ["policy", "utility·time", "accept", "peak load", "fairness"],
@@ -490,7 +496,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--rate", type=float, default=2.0)
     sim.add_argument("--duration", type=float, default=30.0)
     sim.add_argument("--horizon", type=float, default=300.0)
+    sim.add_argument("--popularity", type=float, default=1.0,
+                     help="Zipf exponent of stream popularity (0 = uniform)")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--engine", choices=["indexed", "dict"], default=None,
+                     help="simulation engine (default: indexed — array-native "
+                     "trace draw and replay; dict keeps the original event "
+                     "loop; $REPRO_SIM_ENGINE overrides)")
+    sim.add_argument("--parallel", "-j", type=int, default=1,
+                     help="worker processes, one policy replay each "
+                     "(1 = in-process)")
     sim.set_defaults(func=cmd_simulate)
     return parser
 

@@ -143,6 +143,7 @@ class OnlineAllocator:
         self._user_load_arr = np.zeros((num_users, mc))
         self.assignment = Assignment(instance)
         self._offered: set[str] = set()
+        self._active_pairs: "dict[int, np.ndarray]" = {}
         self.rejected: "list[str]" = []
 
     # ------------------------------------------------------------------
@@ -156,13 +157,18 @@ class OnlineAllocator:
 
     def _server_charge(self, stream_id: str) -> float:
         """``Σ_{i∈M} (c_i(S)/B_i)·C(i)`` — the server part of the Line 4 test."""
-        s = self.instance.stream(stream_id)
+        self.instance.stream(stream_id)  # canonical unknown-stream error
+        return self._server_charge_index(self._idx.stream_index[stream_id])
+
+    def _server_charge_index(self, k: int) -> float:
+        """Index form of :meth:`_server_charge` (same floats, no id lookup)."""
+        costs = self._idx.stream_costs[k]
         total = 0.0
         for i in self._server_measures:
-            budget = self.instance.budgets[i]
-            if s.costs[i] > 0:
-                total += (s.costs[i] / budget) * self._exp_cost_server(i)
-        return total
+            budget = self._idx.budgets[i]
+            if costs[i] > 0:
+                total += (costs[i] / budget) * self._exp_cost_server(i)
+        return float(total)
 
     def _user_charge(self, user_id: str, stream_id: str) -> float:
         """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` — one user's part of the test.
@@ -208,20 +214,29 @@ class OnlineAllocator:
         empty = rejected).  An *accepted* stream may not be offered again
         until released; rejected streams may be re-offered (the simulator
         treats each re-arrival as a fresh request)."""
+        k = self._idx.stream_index.get(stream_id)
+        if k is None:
+            self.instance.stream(stream_id)  # canonical unknown-stream error
+        return self._idx.user_ids_of(self.offer_indexed(k))
+
+    def offer_indexed(self, k: int) -> np.ndarray:
+        """Index-native :meth:`offer`: stream index in, receiver user
+        indices out (same floats, same decisions — the string form
+        delegates here)."""
+        idx = self._idx
+        stream_id = idx.stream_ids[k]
         if stream_id in self._offered:
             raise ValidationError(f"stream {stream_id!r} is already active")
-        stream = self.instance.stream(stream_id)
-        idx = self._idx
-        k = idx.stream_index[stream_id]
+        empty = np.empty(0, dtype=np.int64)
         lo, hi = int(idx.s_indptr[k]), int(idx.s_indptr[k + 1])
         if lo == hi:
             self.rejected.append(stream_id)
-            return []
+            return empty
         row_users = idx.s_user[lo:hi]
         row_pairs = np.arange(lo, hi, dtype=np.int64)
         row_w = idx.s_w[lo:hi]
 
-        server_charge = self._server_charge(stream_id)
+        server_charge = self._server_charge_index(k)
         charges = self._user_charges(row_users, row_pairs)
 
         # Maximal U_j: drop users in decreasing order of charge/utility
@@ -240,43 +255,45 @@ class OnlineAllocator:
             total_utility -= float(sorted_w[count])
         if count == 0:
             self.rejected.append(stream_id)
-            return []
+            return empty
         selected_users = row_users[order[:count]]
         selected_pairs = row_pairs[order[:count]]
 
         if self.enforce_budgets:
             selected_users, selected_pairs = self._hard_guard(
-                stream, selected_users, selected_pairs
+                k, selected_users, selected_pairs
             )
             if selected_users.size == 0:
                 self.rejected.append(stream_id)
-                return []
+                return empty
 
         # Commit: server loads increase once, user loads per receiver.
         self._offered.add(stream_id)
+        costs = idx.stream_costs[k]
         for i in self._server_measures:
-            if stream.costs[i] > 0:
-                self._server_load_arr[i] += stream.costs[i] / self.instance.budgets[i]
+            if costs[i] > 0:
+                self._server_load_arr[i] += costs[i] / idx.budgets[i]
         for j in range(idx.mc):
             cap = idx.capacities[selected_users, j]
             load = idx.s_loads[selected_pairs, j]
             mask = np.isfinite(cap) & (load > 0.0)
             if mask.any():
                 self._user_load_arr[selected_users[mask], j] += load[mask] / cap[mask]
-        receivers = idx.user_ids_of(selected_users)
-        self.assignment.assign_stream(stream_id, receivers)
-        return receivers
+        self._active_pairs[k] = selected_pairs
+        self.assignment.assign_stream(stream_id, idx.user_ids_of(selected_users))
+        return selected_users
 
     def _hard_guard(
-        self, stream, selected_users: np.ndarray, selected_pairs: np.ndarray
+        self, k: int, selected_users: np.ndarray, selected_pairs: np.ndarray
     ):
         """Drop the stream (or individual users) if committing would exceed
         a budget.  Never fires under the small-streams precondition."""
         idx = self._idx
         empty = np.empty(0, dtype=np.int64)
+        costs = idx.stream_costs[k]
         for i in self._server_measures:
-            budget = self.instance.budgets[i]
-            if self._server_load_arr[i] + stream.costs[i] / budget > 1.0 + FEASIBILITY_RTOL:
+            budget = idx.budgets[i]
+            if self._server_load_arr[i] + costs[i] / budget > 1.0 + FEASIBILITY_RTOL:
                 return empty, empty
         fits = np.ones(selected_users.size, dtype=bool)
         for j in range(idx.mc):
@@ -299,25 +316,33 @@ class OnlineAllocator:
         The §5 competitive analysis covers the arrivals-only model; with
         releases this is the heuristic policy used by the simulator.
         """
+        k = self._idx.stream_index.get(stream_id)
+        if k is None or stream_id not in self._offered:
+            raise ValidationError(f"stream {stream_id!r} was never offered")
+        self.release_indexed(k)
+
+    def release_indexed(self, k: int) -> None:
+        """Index-native :meth:`release`: one scatter-subtract per measure
+        over the stream's receiver pairs instead of a per-user loop."""
+        idx = self._idx
+        stream_id = idx.stream_ids[k]
         if stream_id not in self._offered:
             raise ValidationError(f"stream {stream_id!r} was never offered")
-        stream = self.instance.stream(stream_id)
-        idx = self._idx
-        receivers = self.assignment.receivers_of(stream_id)
-        if receivers:
+        pairs = self._active_pairs.pop(k, np.empty(0, dtype=np.int64))
+        if pairs.size:
+            costs = idx.stream_costs[k]
             for i in self._server_measures:
-                if stream.costs[i] > 0:
-                    self._server_load_arr[i] -= stream.costs[i] / self.instance.budgets[i]
-        for uid in receivers:
-            u = self.instance.user(uid)
-            u_i = idx.user_index[uid]
+                if costs[i] > 0:
+                    self._server_load_arr[i] -= costs[i] / idx.budgets[i]
+            users = idx.s_user[pairs]
             for j in range(idx.mc):
-                if math.isinf(u.capacities[j]):
-                    continue
-                load = u.load(stream_id, j)
-                if load > 0:
-                    self._user_load_arr[u_i, j] -= load / u.capacities[j]
-            self.assignment.discard(uid, stream_id)
+                cap = idx.capacities[users, j]
+                load = idx.s_loads[pairs, j]
+                mask = np.isfinite(cap) & (load > 0.0)
+                if mask.any():
+                    self._user_load_arr[users[mask], j] -= load[mask] / cap[mask]
+            for uid in idx.user_ids_of(users):
+                self.assignment.discard(uid, stream_id)
         self._offered.discard(stream_id)
 
     # ------------------------------------------------------------------

@@ -8,17 +8,30 @@ compared in a dynamic setting with stream arrivals and departures.
 
 - :mod:`repro.sim.engine` — a minimal generator-based discrete-event
   engine (simpy is not available offline; this is self-contained and
-  unit-tested on its own).
+  unit-tested on its own), plus the calendar-light replay order for
+  pre-drawn traces.
 - :mod:`repro.sim.policies` — online admission policies: threshold,
   exponential-cost (Algorithm *Allocate*), static density, random.
 - :mod:`repro.sim.simulation` — the video-distribution simulation:
   Poisson stream arrivals with exponential lifetimes, utility accrual
-  per receiving user per unit time.
+  per receiving user per unit time; the engine-dispatching front doors
+  (:func:`~repro.sim.simulation.simulate_trace`,
+  :func:`~repro.sim.simulation.compare_policies`).
+- :mod:`repro.sim.indexed` — the array-native simulation engine:
+  vectorized trace drawing and CSR-row replay on the
+  :class:`~repro.core.indexed.IndexedInstance` arrays (the default;
+  ``engine="dict"`` or ``$REPRO_SIM_ENGINE`` selects the original).
 - :mod:`repro.sim.metrics` — time-weighted statistics and reports.
 """
 
 from repro.sim.engine import Engine, Process, Timeout
-from repro.sim.metrics import SimulationReport, TimeWeightedValue
+from repro.sim.indexed import (
+    IndexedTrace,
+    IndexedVideoSim,
+    draw_trace_arrays,
+    resolve_sim_engine,
+)
+from repro.sim.metrics import ColumnarTimeWeighted, SimulationReport, TimeWeightedValue
 from repro.sim.policies import (
     AdmissionPolicy,
     AllocatePolicy,
@@ -26,7 +39,13 @@ from repro.sim.policies import (
     RandomPolicy,
     ThresholdPolicy,
 )
-from repro.sim.simulation import ArrivalModel, VideoDistributionSim
+from repro.sim.simulation import (
+    ArrivalModel,
+    VideoDistributionSim,
+    compare_policies,
+    draw_trace,
+    simulate_trace,
+)
 
 __all__ = [
     "Engine",
@@ -34,6 +53,7 @@ __all__ = [
     "Timeout",
     "SimulationReport",
     "TimeWeightedValue",
+    "ColumnarTimeWeighted",
     "AdmissionPolicy",
     "AllocatePolicy",
     "DensityPolicy",
@@ -41,4 +61,11 @@ __all__ = [
     "ThresholdPolicy",
     "ArrivalModel",
     "VideoDistributionSim",
+    "IndexedTrace",
+    "IndexedVideoSim",
+    "draw_trace",
+    "draw_trace_arrays",
+    "simulate_trace",
+    "compare_policies",
+    "resolve_sim_engine",
 ]

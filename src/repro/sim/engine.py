@@ -8,7 +8,10 @@ own engine with the small simpy-like core the simulator needs:
 - :class:`Process` — a generator-based process: ``yield Timeout(d)``
   suspends for ``d`` time units, ``yield other_process`` suspends until
   that process finishes;
-- :class:`Timeout` — the delay request object.
+- :class:`Timeout` — the delay request object;
+- :func:`merged_replay_order` — the calendar-light path for pre-drawn
+  traces: when all events are known up front, one vectorized sort
+  replaces the heap while reproducing its exact tie-breaking.
 
 Determinism matters for reproducible experiments: events scheduled for
 the same instant fire in scheduling order (a strictly increasing
@@ -31,6 +34,8 @@ from __future__ import annotations
 
 import heapq
 from typing import Callable, Generator, Iterator
+
+import numpy as np
 
 from repro.exceptions import SimulationError
 
@@ -147,6 +152,43 @@ class Engine:
 
     def empty(self) -> bool:
         return not self._heap
+
+
+def merged_replay_order(
+    arrival_times: np.ndarray,
+    departure_times: np.ndarray,
+    horizon: "float | None" = None,
+) -> np.ndarray:
+    """Calendar-light replay order for a pre-drawn trace.
+
+    Trace replay never needs the general heap calendar: every event is
+    known up front (arrival ``i`` at ``arrival_times[i]``, its potential
+    departure at ``departure_times[i]``), so one sort replaces ~2·E heap
+    operations.  Returns event *codes* in firing order — code ``i < E``
+    is arrival ``i``, code ``E + i`` is departure ``i`` — reproducing
+    the :class:`Engine` heap's deterministic tie-breaking exactly:
+
+    - equal-time events fire arrivals first (arrivals are scheduled at
+      setup, so they hold lower sequence numbers than any departure);
+    - within a kind, equal-time events fire in trace order (FIFO).
+
+    Events after ``horizon`` (if given) are dropped, matching
+    :meth:`Engine.run_until`.
+
+    >>> import numpy as np
+    >>> order = merged_replay_order(np.array([1.0, 2.0]), np.array([2.0, 5.0]), 4.0)
+    >>> [int(c) for c in order]   # arrival 0, arrival 1 (tie: before dep 0), dep 0
+    [0, 1, 2]
+    """
+    count = int(arrival_times.shape[0])
+    times = np.concatenate([arrival_times, departure_times])
+    kind = np.repeat(np.array([0, 1], dtype=np.int64), count)
+    position = np.concatenate([np.arange(count), np.arange(count)])
+    codes = position + kind * count
+    if horizon is not None:
+        keep = times <= horizon
+        times, kind, position, codes = times[keep], kind[keep], position[keep], codes[keep]
+    return codes[np.lexsort((position, kind, times))]
 
 
 def poisson_arrivals(

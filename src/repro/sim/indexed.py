@@ -1,0 +1,378 @@
+"""Array-native dynamic simulation engine (the E9 setting, compiled).
+
+The string-keyed :class:`~repro.sim.simulation.VideoDistributionSim`
+pays Python overhead per event: an O(S) ``rng.choice`` per arrival when
+drawing the trace, heap churn per event, per-user inner loops over
+``load_vector`` when admitting, and one
+:class:`~repro.sim.metrics.TimeWeightedValue` object per user.  This
+module runs the whole simulation on the
+:class:`~repro.core.indexed.IndexedInstance` arrays instead:
+
+- :func:`draw_trace_arrays` — batched exponential gap draws plus one
+  cumulative-weight ``searchsorted`` for the Zipf stream choices,
+  producing an :class:`IndexedTrace` (three parallel arrays, no event
+  objects);
+- :class:`IndexedVideoSim` — calendar-light replay
+  (:func:`~repro.sim.engine.merged_replay_order` instead of the heap),
+  vectorized admission/departure accounting over each stream's CSR row
+  (``np`` fancy-index scatter updates on the dense usage matrix), and
+  columnar per-user utility integration
+  (:class:`~repro.sim.metrics.ColumnarTimeWeighted`).
+
+**Parity contract.**  Given the same trace and a fresh policy, the
+indexed engine reproduces the dict engine's
+:class:`~repro.sim.metrics.SimulationReport` exactly — same utility
+integral, admits, violations, per-user utilities and utilization floats
+— because every accumulation happens in the same IEEE order the dict
+code uses (``tests/test_sim_indexed.py`` asserts this with ``==``).
+The engine is selected per call (``engine="dict"``) or globally via
+``$REPRO_SIM_ENGINE``; the default is ``indexed``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.indexed import IndexedInstance, ensure_indexed
+from repro.exceptions import SimulationError, ValidationError
+from repro.sim.engine import merged_replay_order
+from repro.sim.metrics import ColumnarTimeWeighted, SimulationReport, TimeWeightedValue
+from repro.sim.policies import AdmissionPolicy, ResourceView
+from repro.util.rng import ensure_rng
+
+#: Environment variable selecting the default simulation engine.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+_SIM_ENGINES = ("indexed", "dict")
+
+
+def resolve_sim_engine(engine: "str | None" = None) -> str:
+    """Resolve a sim engine name: argument > ``$REPRO_SIM_ENGINE`` > indexed."""
+    chosen = engine if engine is not None else os.environ.get(SIM_ENGINE_ENV, "indexed")
+    if chosen not in _SIM_ENGINES:
+        raise ValidationError(
+            f"unknown simulation engine {chosen!r}; pick one of {_SIM_ENGINES}"
+        )
+    return chosen
+
+
+@dataclass
+class IndexedTrace:
+    """A pre-drawn arrival trace as three parallel arrays.
+
+    ``streams`` holds stream *indices* (not ids), so a trace at
+    millions of events is three dense arrays rather than millions of
+    :class:`~repro.sim.simulation.SessionEvent` objects.
+
+    Attributes
+    ----------
+    times:
+        ``(E,)`` nondecreasing arrival times.
+    streams:
+        ``(E,)`` proposed stream indices.
+    durations:
+        ``(E,)`` session lifetimes.
+    """
+
+    times: np.ndarray
+    streams: np.ndarray
+    durations: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of events in the trace."""
+        return int(self.times.shape[0])
+
+    def to_events(self, idx: IndexedInstance) -> list:
+        """Materialize the string-id :class:`SessionEvent` list."""
+        from repro.sim.simulation import SessionEvent
+
+        ids = idx.stream_ids
+        return [
+            SessionEvent(time=float(t), stream_id=ids[int(k)], duration=float(d))
+            for t, k, d in zip(self.times, self.streams, self.durations)
+        ]
+
+    @classmethod
+    def from_events(cls, idx: IndexedInstance, events) -> "IndexedTrace":
+        """Lower a :class:`SessionEvent` list onto index arrays."""
+        count = len(events)
+        times = np.empty(count)
+        streams = np.empty(count, dtype=np.int64)
+        durations = np.empty(count)
+        stream_index = idx.stream_index
+        for i, event in enumerate(events):
+            times[i] = event.time
+            streams[i] = stream_index[event.stream_id]
+            durations[i] = event.duration
+        return cls(times=times, streams=streams, durations=durations)
+
+
+def _empty_trace() -> IndexedTrace:
+    """A fresh zero-event trace."""
+    return IndexedTrace(
+        times=np.empty(0),
+        streams=np.empty(0, dtype=np.int64),
+        durations=np.empty(0),
+    )
+
+
+def draw_trace_arrays(
+    instance: "IndexedInstance",
+    model,
+    horizon: float,
+    seed: "int | np.random.Generator | None" = None,
+) -> IndexedTrace:
+    """Vectorized trace draw: batched gaps, one searchsorted for streams.
+
+    The per-event loop of the dict engine pays one
+    ``rng.exponential`` + one O(S) ``rng.choice(p=weights)`` + one
+    ``rng.exponential`` per event; here arrival times come from batched
+    exponential draws (cumulative-summed, topped up until the horizon is
+    crossed), stream choices from a single ``searchsorted`` of uniform
+    draws into the cumulative Zipf weights, and durations from one
+    batched draw.  Deterministic under ``seed`` (but a *different*
+    stream than the dict draw for the same seed — the two engines
+    consume randomness in different orders).
+
+    Degenerate inputs yield an empty trace instead of crashing: a zero
+    arrival rate, an empty catalog (whose Zipf weights would be NaN) or
+    a nonpositive horizon.
+    """
+    idx = ensure_indexed(instance)
+    num_streams = idx.num_streams
+    if model.rate <= 0 or num_streams == 0 or horizon <= 0:
+        return _empty_trace()
+    rng = ensure_rng(seed)
+
+    # Arrival times: draw gap batches sized ~E[count] and top up until
+    # the cumulative time crosses the horizon.
+    scale = 1.0 / model.rate
+    expected = model.rate * horizon
+    chunk = max(64, int(expected + 4.0 * math.sqrt(expected)) + 16)
+    last = 0.0
+    blocks: "list[np.ndarray]" = []
+    while True:
+        block = last + np.cumsum(rng.exponential(scale, size=chunk))
+        blocks.append(block)
+        if block[-1] > horizon:
+            break
+        last = float(block[-1])
+        chunk = max(chunk // 2, 64)
+    times = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+    times = times[times <= horizon]
+    count = int(times.shape[0])
+    if count == 0:
+        return _empty_trace()
+
+    # Zipf-by-rank stream choices: one searchsorted into the cumulative
+    # weights replaces a per-event rng.choice(p=weights).
+    ranks = np.arange(1, num_streams + 1, dtype=float)
+    cumweights = np.cumsum(ranks ** (-model.popularity_exponent))
+    cumweights /= cumweights[-1]
+    streams = np.searchsorted(cumweights, rng.random(count), side="right")
+    streams = np.minimum(streams, num_streams - 1).astype(np.int64)
+
+    durations = rng.exponential(model.mean_duration, size=count)
+    return IndexedTrace(times=times, streams=streams, durations=durations)
+
+
+class IndexedVideoSim:
+    """Array-native counterpart of :class:`VideoDistributionSim`.
+
+    Drives one policy over one trace entirely on the indexed arrays:
+    admissions and departures are CSR-row operations, per-user utility
+    integrates columnar, and replay walks one pre-sorted event array.
+    Reports are float-identical to the dict engine's (see module
+    docstring).
+
+    Parameters
+    ----------
+    instance:
+        The static instance, as either representation (array-native
+        instances are **not** lifted unless the policy's
+        ``bind_indexed`` needs the dict model).
+    policy:
+        The admission policy under test; ``bind_indexed`` is called
+        here.
+    """
+
+    def __init__(
+        self,
+        instance: "IndexedInstance",
+        policy: AdmissionPolicy,
+    ) -> None:
+        idx = ensure_indexed(instance)
+        self.idx = idx
+        self.policy = policy
+        policy.bind_indexed(idx)
+        self.view = ResourceView(idx)
+        self._finite_budget = [
+            i for i in range(idx.m) if not math.isinf(idx.budgets[i])
+        ]
+        self._utility_rate = TimeWeightedValue()
+        self._server_load = {i: TimeWeightedValue() for i in self._finite_budget}
+        self._user_stats = ColumnarTimeWeighted(idx.num_users)
+        #: event position -> (kept user indices, their pair rows, their w).
+        self._sessions: "dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]" = {}
+        self.offered = 0
+        self.admitted = 0
+        self.deliveries = 0
+        self.policy_violations = 0
+
+    # ------------------------------------------------------------------
+    # Event handlers (mirror VideoDistributionSim exactly)
+    # ------------------------------------------------------------------
+
+    def _clip_to_feasible(
+        self, k: int, receivers: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Hard feasibility guard over index arrays; counts violations
+        exactly as the dict engine's per-user loop does.  Duplicate
+        receivers collapse to the first occurrence (like the dict
+        engine), so the scatter updates stay one-write-per-user."""
+        idx = self.idx
+        if receivers.size and not self.view.fits_server_index(k):
+            self.policy_violations += 1
+            return receivers[:0], receivers[:0]
+        if receivers.size == 0:
+            return receivers, receivers
+        unique, first = np.unique(receivers, return_index=True)
+        if unique.size != receivers.size:
+            receivers = receivers[np.sort(first)]
+        lo, hi = int(idx.s_indptr[k]), int(idx.s_indptr[k + 1])
+        row = idx.s_user[lo:hi]  # ascending user indices
+        if row.size:
+            position = np.searchsorted(row, receivers)
+            clipped = np.minimum(position, row.size - 1)
+            present = row[clipped] == receivers
+            pairs = lo + clipped
+        else:
+            present = np.zeros(receivers.size, dtype=bool)
+            pairs = np.zeros(receivers.size, dtype=np.int64)
+        w = np.zeros(receivers.size)
+        w[present] = idx.s_w[pairs[present]]
+        positive = w > 0.0
+        # Zero/absent utility pairs are violations (w_u(S) <= 0), exactly
+        # like the dict loop; capacity checks run only on the survivors.
+        self.policy_violations += int(np.count_nonzero(~positive))
+        users = receivers[positive]
+        user_pairs = pairs[positive]
+        fits = self.view.fits_pairs(users, user_pairs)
+        self.policy_violations += int(np.count_nonzero(~fits))
+        return users[fits], user_pairs[fits]
+
+    def _on_arrival(self, position: int, k: int, now: float) -> None:
+        view = self.view
+        if view.active_mask[k]:
+            return  # already multicast; no new decision
+        self.offered += 1
+        receivers = np.asarray(self.policy.on_offer_indexed(k, view), dtype=np.int64)
+        users, pairs = self._clip_to_feasible(k, receivers)
+        if users.size == 0:
+            return
+        self.admitted += 1
+        self.deliveries += int(users.size)
+        idx = self.idx
+        view.activate_index(k)
+        view.server_used += idx.stream_costs[k]
+        for i in self._finite_budget:
+            self._server_load[i].set(
+                now, view.server_used[i] / idx.budgets[i]
+            )
+        weights = idx.s_w[pairs]
+        view.user_used_array[users] += idx.s_loads[pairs]
+        self._user_stats.add_at(users, now, weights)
+        # cumsum accumulates sequentially — the dict loop's exact sum.
+        self._utility_rate.add(now, float(np.cumsum(weights)[-1]))
+        self._sessions[position] = (users, pairs, weights)
+
+    def _on_departure(self, position: int, k: int, now: float) -> None:
+        session = self._sessions.pop(position, None)
+        if session is None:
+            return  # proposal was rejected or skipped: nothing departs
+        users, pairs, weights = session
+        idx = self.idx
+        view = self.view
+        view.deactivate_index(k)
+        view.server_used -= idx.stream_costs[k]
+        for i in self._finite_budget:
+            self._server_load[i].set(
+                now, view.server_used[i] / idx.budgets[i]
+            )
+        view.user_used_array[users] -= idx.s_loads[pairs]
+        self._user_stats.add_at(users, now, -weights)
+        self._utility_rate.add(now, -float(np.cumsum(weights)[-1]))
+        self.policy.on_release_indexed(k, view)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run_trace(
+        self, trace: "IndexedTrace | list", horizon: float
+    ) -> SimulationReport:
+        """Replay a pre-drawn trace up to ``horizon`` and report.
+
+        Accepts an :class:`IndexedTrace` or a ``SessionEvent`` list
+        (lowered on entry).
+        """
+        idx = self.idx
+        if not isinstance(trace, IndexedTrace):
+            trace = IndexedTrace.from_events(idx, trace)
+        keep = trace.times <= horizon
+        times = trace.times[keep]
+        streams = trace.streams[keep]
+        durations = trace.durations[keep]
+        if durations.size and float(durations.min()) < 0.0:
+            # The dict engine refuses to schedule into the past; fail as
+            # loudly here instead of silently never departing the session.
+            raise SimulationError(
+                f"negative session duration in trace: {float(durations.min())}"
+            )
+        departures = times + durations
+        count = int(times.shape[0])
+        for code in merged_replay_order(times, departures, horizon):
+            position = int(code)
+            if position < count:
+                self._on_arrival(
+                    position, int(streams[position]), float(times[position])
+                )
+            else:
+                position -= count
+                self._on_departure(
+                    position, int(streams[position]), float(departures[position])
+                )
+        report = SimulationReport(
+            policy_name=self.policy.name,
+            horizon=horizon,
+            utility_time=self._utility_rate.integral(horizon),
+            offered=self.offered,
+            admitted=self.admitted,
+            deliveries=self.deliveries,
+            policy_violations=self.policy_violations,
+            num_users=idx.num_users,
+        )
+        for i, stat in self._server_load.items():
+            report.server_utilization[i] = stat.mean(horizon)
+            report.peak_server_utilization[i] = stat.peak
+        integrals = self._user_stats.integral(horizon)
+        user_ids = idx.user_ids
+        for u in np.flatnonzero(self._user_stats.touched):
+            report.per_user_utility[user_ids[int(u)]] = float(integrals[int(u)])
+        return report
+
+    def run(
+        self,
+        horizon: float,
+        model=None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> SimulationReport:
+        """Draw an array trace and replay it (one-policy convenience)."""
+        from repro.sim.simulation import ArrivalModel
+
+        trace = draw_trace_arrays(self.idx, model or ArrivalModel(), horizon, seed)
+        return self.run_trace(trace, horizon)

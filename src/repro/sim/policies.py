@@ -26,74 +26,189 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from collections.abc import Mapping
 
 import numpy as np
 
 from repro.core.allocate import OnlineAllocator
-from repro.core.indexed import index_instance
+from repro.core.indexed import IndexedInstance, ensure_indexed, index_instance
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.util.rng import ensure_rng
 
+#: Shared empty receiver answer (index form).
+EMPTY_USERS = np.empty(0, dtype=np.int64)
+
+
+class _UserUsage(Mapping):
+    """Mapping facade over the dense ``(num_users, mc)`` usage matrix.
+
+    ``view.user_used[uid]`` returns the user's *live row* of the backing
+    array (mutations write through), preserving the dict-of-lists
+    interface the string-keyed simulator and existing callers use while
+    the actual accounting runs on one contiguous matrix.
+    """
+
+    def __init__(self, idx: IndexedInstance, array: np.ndarray) -> None:
+        self._idx = idx
+        self._array = array
+
+    def __getitem__(self, user_id: str) -> np.ndarray:
+        return self._array[self._idx.user_index[user_id]]
+
+    def __iter__(self):
+        return iter(self._idx.user_ids)
+
+    def __len__(self) -> int:
+        return self._idx.num_users
+
 
 class ResourceView:
-    """Read-only usage snapshot handed to policies.
+    """Usage snapshot handed to policies, backed by dense arrays.
 
     Attributes
     ----------
-    instance:
-        The static instance (catalog, users, budgets).
+    indexed:
+        The :class:`~repro.core.indexed.IndexedInstance` lowering all
+        accounting runs on.
     server_used:
-        Current per-measure server usage.
+        ``(m,)`` per-measure server usage vector.
     user_used:
-        Current per-user, per-measure usage.
-    active_streams:
-        Streams currently carried.
+        Mapping view (``user_id -> (mc,) row``) over
+        :attr:`user_used_array`, the dense ``(num_users, mc)`` matrix.
+    active_streams / active_mask:
+        Streams currently carried, as a string-id set and as a boolean
+        vector over stream indices (kept in sync by the
+        :meth:`activate_index` / :meth:`deactivate_index` mutators).
     """
 
-    def __init__(self, instance: MMDInstance) -> None:
-        self.instance = instance
-        self._idx = index_instance(instance)
-        self.server_used: "list[float]" = [0.0] * instance.m
-        self.user_used: "dict[str, list[float]]" = {
-            u.user_id: [0.0] * instance.mc for u in instance.users
-        }
+    def __init__(self, instance: "MMDInstance | IndexedInstance") -> None:
+        self.indexed = ensure_indexed(instance)
+        idx = self.indexed
+        self._idx = idx
+        self.server_used = np.zeros(idx.m)
+        self.user_used_array = np.zeros((idx.num_users, idx.mc))
+        self.user_used = _UserUsage(idx, self.user_used_array)
         self.active_streams: set[str] = set()
+        self.active_mask = np.zeros(idx.num_streams, dtype=bool)
+
+    @property
+    def instance(self) -> MMDInstance:
+        """The string-keyed instance (lifted lazily for array-native input)."""
+        return self.indexed.lift()
+
+    # -- mutation (the simulator owns the ground truth) ----------------
+
+    def activate_index(self, k: int) -> None:
+        """Mark stream index ``k`` as carried (mask and id set together)."""
+        self.active_mask[k] = True
+        self.active_streams.add(self.indexed.stream_ids[k])
+
+    def deactivate_index(self, k: int) -> None:
+        """Mark stream index ``k`` as no longer carried."""
+        self.active_mask[k] = False
+        self.active_streams.discard(self.indexed.stream_ids[k])
+
+    def activate(self, stream_id: str) -> None:
+        """String-id form of :meth:`activate_index`."""
+        self.activate_index(self.indexed.stream_index[stream_id])
+
+    def deactivate(self, stream_id: str) -> None:
+        """String-id form of :meth:`deactivate_index`."""
+        self.deactivate_index(self.indexed.stream_index[stream_id])
+
+    # -- feasibility probes --------------------------------------------
+
+    def fits_server_index(self, k: int, margin: float = 1.0) -> bool:
+        """Would carrying stream index ``k`` keep all server budgets
+        within ``margin`` of their caps?"""
+        idx = self.indexed
+        for i in range(idx.m):
+            budget = idx.budgets[i]
+            if math.isinf(budget):
+                continue
+            if self.server_used[i] + idx.stream_costs[k, i] > margin * budget * (
+                1 + FEASIBILITY_RTOL
+            ):
+                return False
+        return True
 
     def fits_server(self, stream_id: str, margin: float = 1.0) -> bool:
         """Would carrying the stream keep all server budgets within
         ``margin`` of their caps?"""
-        stream = self.instance.stream(stream_id)
-        for i, budget in enumerate(self.instance.budgets):
-            if math.isinf(budget):
-                continue
-            if self.server_used[i] + stream.costs[i] > margin * budget * (1 + FEASIBILITY_RTOL):
-                return False
-        return True
+        return self.fits_server_index(self.indexed.stream_index[stream_id], margin)
+
+    def fits_pairs(self, users: np.ndarray, pairs: np.ndarray, margin: float = 1.0) -> np.ndarray:
+        """Vectorized per-user capacity check for stream-major pairs.
+
+        ``users[i]`` with pair row ``pairs[i]`` (an index into the
+        ``s_*`` arrays) fits iff delivering that pair keeps every finite
+        capacity within ``margin`` of its cap.  Returns a boolean mask.
+        """
+        idx = self.indexed
+        ok = np.ones(users.shape[0], dtype=bool)
+        for j in range(idx.mc):
+            cap = idx.capacities[users, j]
+            finite = np.isfinite(cap)
+            with np.errstate(invalid="ignore"):
+                over = self.user_used_array[users, j] + idx.s_loads[pairs, j] > (
+                    margin * cap * (1 + FEASIBILITY_RTOL)
+                )
+            ok &= ~(finite & over)
+        return ok
+
+    def row_fit_mask(self, k: int, margin: float = 1.0) -> np.ndarray:
+        """Capacity-fit mask over stream ``k``'s interested-user row."""
+        idx = self.indexed
+        lo, hi = int(idx.s_indptr[k]), int(idx.s_indptr[k + 1])
+        return self.fits_pairs(idx.s_user[lo:hi], np.arange(lo, hi, dtype=np.int64), margin)
 
     def fits_user(self, user_id: str, stream_id: str, margin: float = 1.0) -> bool:
         """Would delivering the stream keep this user's capacities within
         ``margin`` of their caps?"""
-        user = self.instance.user(user_id)
-        loads = user.load_vector(stream_id)
-        for j, cap in enumerate(user.capacities):
+        idx = self.indexed
+        u = idx.user_index[user_id]
+        k = idx.stream_index[stream_id]
+        lo, hi = int(idx.u_indptr[u]), int(idx.u_indptr[u + 1])
+        position = np.flatnonzero(idx.u_stream[lo:hi] == k)
+        if position.size:
+            loads = idx.u_loads[lo + int(position[0])]
+        else:
+            loads = np.zeros(idx.mc)  # zero-utility pair: loads are zero
+        for j in range(idx.mc):
+            cap = idx.capacities[u, j]
             if math.isinf(cap):
                 continue
-            if self.user_used[user_id][j] + loads[j] > margin * cap * (1 + FEASIBILITY_RTOL):
+            if self.user_used_array[u, j] + loads[j] > margin * cap * (1 + FEASIBILITY_RTOL):
                 return False
         return True
 
+    def interested_row(self, k: int) -> np.ndarray:
+        """Stream ``k``'s interested users (ascending user indices)."""
+        idx = self.indexed
+        return idx.s_user[idx.s_indptr[k]:idx.s_indptr[k + 1]]
+
     def interested_users(self, stream_id: str) -> "list[str]":
+        """Interested users of a stream as string ids (instance order)."""
         # Stream-major CSR row lookup (users in instance order) instead
         # of a full population scan per offer.
-        idx = self._idx
+        idx = self.indexed
         k = idx.stream_index.get(stream_id)
         if k is None:
             return []
-        return idx.user_ids_of(idx.s_user[idx.s_indptr[k]:idx.s_indptr[k + 1]])
+        return idx.user_ids_of(self.interested_row(k))
 
 
 class AdmissionPolicy(ABC):
-    """Interface the simulator drives."""
+    """Interface the simulator drives.
+
+    The string-id methods (:meth:`bind`, :meth:`on_offer`,
+    :meth:`on_release`) are the original API and remain the only thing a
+    custom policy must implement.  The ``*_indexed`` variants are what
+    the array-native engine calls; their default implementations adapt
+    through the string API (so any existing policy runs under either
+    engine), and the built-in policies override them with vectorized
+    answers that never touch string ids.
+    """
 
     name = "policy"
 
@@ -101,13 +216,34 @@ class AdmissionPolicy(ABC):
         """Called once before the run with the full instance (catalog
         known, arrival order unknown — the §5 online model)."""
 
+    def bind_indexed(self, idx: IndexedInstance) -> None:
+        """Indexed-engine bind; the default lifts and calls :meth:`bind`."""
+        self.bind(idx.lift())
+
     @abstractmethod
     def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
         """Decide the receiver set for an arriving stream session
         (empty = reject)."""
 
+    def on_offer_indexed(self, k: int, view: ResourceView) -> np.ndarray:
+        """Receiver *user indices* for stream index ``k``.
+
+        Default adapter: round-trip through :meth:`on_offer` with string
+        ids, preserving third-party policies under the indexed engine.
+        """
+        idx = view.indexed
+        receivers = self.on_offer(idx.stream_ids[k], view)
+        if not receivers:
+            return EMPTY_USERS
+        user_index = idx.user_index
+        return np.array([user_index[uid] for uid in receivers], dtype=np.int64)
+
     def on_release(self, stream_id: str) -> None:
         """Called when an admitted session departs."""
+
+    def on_release_indexed(self, k: int, view: ResourceView) -> None:
+        """Index form of :meth:`on_release` (default: string adapter)."""
+        self.on_release(view.indexed.stream_ids[k])
 
 
 class ThresholdPolicy(AdmissionPolicy):
@@ -119,6 +255,9 @@ class ThresholdPolicy(AdmissionPolicy):
         self.margin = margin
         self.name = f"threshold(m={margin:g})"
 
+    def bind_indexed(self, idx: IndexedInstance) -> None:
+        """No state to build: the threshold rule is stateless."""
+
     def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
         if not view.fits_server(stream_id, self.margin):
             return []
@@ -128,6 +267,11 @@ class ThresholdPolicy(AdmissionPolicy):
             if view.fits_user(uid, stream_id, self.margin)
         ]
         return receivers
+
+    def on_offer_indexed(self, k: int, view: ResourceView) -> np.ndarray:
+        if not view.fits_server_index(k, self.margin):
+            return EMPTY_USERS
+        return view.interested_row(k)[view.row_fit_mask(k, self.margin)]
 
 
 class AllocatePolicy(AdmissionPolicy):
@@ -151,9 +295,17 @@ class AllocatePolicy(AdmissionPolicy):
         assert self._allocator is not None, "bind() was not called"
         return self._allocator.offer(stream_id)
 
+    def on_offer_indexed(self, k: int, view: ResourceView) -> np.ndarray:
+        assert self._allocator is not None, "bind() was not called"
+        return self._allocator.offer_indexed(k)
+
     def on_release(self, stream_id: str) -> None:
         assert self._allocator is not None
         self._allocator.release(stream_id)
+
+    def on_release_indexed(self, k: int, view: ResourceView) -> None:
+        assert self._allocator is not None
+        self._allocator.release_indexed(k)
 
 
 class DensityPolicy(AdmissionPolicy):
@@ -169,11 +321,13 @@ class DensityPolicy(AdmissionPolicy):
         self.name = f"density(q={quantile:g})"
 
     def bind(self, instance: MMDInstance) -> None:
+        self.bind_indexed(index_instance(instance))
+
+    def bind_indexed(self, idx: IndexedInstance) -> None:
         # Vectorized over the indexed lowering: normalized catalog costs
         # (finite positive budgets only — zero budgets are vacuous) and
         # per-stream utilities via one segmented sum, the same floats as
         # the per-stream dict loops.
-        idx = index_instance(instance)
         cost = idx.normalized_costs()
         totals = idx.total_utilities()
         densities = np.divide(
@@ -196,6 +350,13 @@ class DensityPolicy(AdmissionPolicy):
             if view.fits_user(uid, stream_id)
         ]
 
+    def on_offer_indexed(self, k: int, view: ResourceView) -> np.ndarray:
+        if float(self._densities[k]) < self._cutoff:
+            return EMPTY_USERS
+        if not view.fits_server_index(k):
+            return EMPTY_USERS
+        return view.interested_row(k)[view.row_fit_mask(k)]
+
 
 class RandomPolicy(AdmissionPolicy):
     """Admit with probability ``p`` (then fit-check); the noise floor."""
@@ -204,6 +365,9 @@ class RandomPolicy(AdmissionPolicy):
         self.p = p
         self._rng = ensure_rng(seed)
         self.name = f"random(p={p:g})"
+
+    def bind_indexed(self, idx: IndexedInstance) -> None:
+        """Stateless apart from the RNG: nothing to build."""
 
     def on_offer(self, stream_id: str, view: ResourceView) -> "list[str]":
         if self._rng.random() >= self.p:
@@ -215,3 +379,12 @@ class RandomPolicy(AdmissionPolicy):
             for uid in view.interested_users(stream_id)
             if view.fits_user(uid, stream_id)
         ]
+
+    def on_offer_indexed(self, k: int, view: ResourceView) -> np.ndarray:
+        # Same single RNG draw per offer as the string path, so both
+        # engines consume the random stream identically.
+        if self._rng.random() >= self.p:
+            return EMPTY_USERS
+        if not view.fits_server_index(k):
+            return EMPTY_USERS
+        return view.interested_row(k)[view.row_fit_mask(k)]

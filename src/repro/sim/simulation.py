@@ -12,6 +12,20 @@ exactly via :class:`repro.sim.metrics.TimeWeightedValue`.
 This is the substrate for experiment E9: the same arrival trace is
 replayed under every policy (common random numbers), so differences in
 collected utility are attributable to the policies alone.
+
+Two replay engines implement the identical semantics:
+
+- ``engine="dict"`` — :class:`VideoDistributionSim`, the original
+  string-keyed event-loop implementation (heap calendar, per-user
+  Python loops);
+- ``engine="indexed"`` (default; ``$REPRO_SIM_ENGINE`` overrides) —
+  :class:`repro.sim.indexed.IndexedVideoSim`, the array-native engine,
+  which reproduces the dict engine's reports float-for-float on any
+  common trace (``tests/test_sim_indexed.py``).
+
+:func:`simulate_trace` and :func:`compare_policies` are the
+engine-dispatching front doors; :func:`compare_policies` additionally
+fans policies out over a process pool with ``parallel=N``.
 """
 
 from __future__ import annotations
@@ -21,12 +35,28 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.indexed import IndexedInstance, ensure_indexed, ensure_instance
 from repro.core.instance import MMDInstance
-from repro.exceptions import SimulationError
-from repro.sim.engine import Engine, Timeout
+from repro.exceptions import SimulationError, ValidationError
+from repro.sim.engine import Engine
+from repro.sim.indexed import (
+    IndexedTrace,
+    IndexedVideoSim,
+    draw_trace_arrays,
+    resolve_sim_engine,
+)
 from repro.sim.metrics import SimulationReport, TimeWeightedValue
 from repro.sim.policies import AdmissionPolicy, ResourceView
 from repro.util.rng import ensure_rng
+
+__all__ = [
+    "ArrivalModel",
+    "SessionEvent",
+    "draw_trace",
+    "VideoDistributionSim",
+    "simulate_trace",
+    "compare_policies",
+]
 
 
 @dataclass
@@ -60,10 +90,11 @@ class SessionEvent:
 
 
 def draw_trace(
-    instance: MMDInstance,
+    instance: "MMDInstance | IndexedInstance",
     model: ArrivalModel,
     horizon: float,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | None" = None,
 ) -> "list[SessionEvent]":
     """Pre-draw an arrival trace (for common-random-number comparisons).
 
@@ -71,46 +102,69 @@ def draw_trace(
     policy-independent; the simulator skips proposals for streams it
     already carries (a multicast system gets no new decision from a
     second request for a carried stream).
+
+    ``engine="indexed"`` (the default) draws the whole trace with
+    batched numpy calls (:func:`repro.sim.indexed.draw_trace_arrays`);
+    ``engine="dict"`` keeps the original per-event loop.  Both are
+    deterministic under ``seed`` but consume randomness in different
+    orders, so the two engines produce different (equally distributed)
+    traces for the same seed.
+
+    Degenerate inputs — a zero arrival rate or an empty catalog — yield
+    an empty trace under both engines (the rate formerly divided by
+    zero, and an empty catalog produced NaN Zipf weights).
     """
+    idx = ensure_indexed(instance)
+    if resolve_sim_engine(engine) == "indexed":
+        return draw_trace_arrays(idx, model, horizon, seed).to_events(idx)
+    if model.rate <= 0 or idx.num_streams == 0 or horizon <= 0:
+        return []
     rng = ensure_rng(seed)
-    ranks = np.arange(1, instance.num_streams + 1, dtype=float)
+    ranks = np.arange(1, idx.num_streams + 1, dtype=float)
     weights = ranks ** (-model.popularity_exponent)
     weights /= weights.sum()
-    sids = instance.stream_ids()
+    sids = idx.stream_ids
     events = []
     t = 0.0
     while True:
         t += float(rng.exponential(1.0 / model.rate))
         if t > horizon:
             break
-        idx = int(rng.choice(len(sids), p=weights))
+        idx_choice = int(rng.choice(len(sids), p=weights))
         duration = float(rng.exponential(model.mean_duration))
-        events.append(SessionEvent(time=t, stream_id=sids[idx], duration=duration))
+        events.append(SessionEvent(time=t, stream_id=sids[idx_choice], duration=duration))
     return events
 
 
 class VideoDistributionSim:
-    """Drives one policy over one arrival trace.
+    """Drives one policy over one arrival trace (the ``dict`` engine).
 
     Parameters
     ----------
     instance:
         The static instance: catalog, users (with capacities), budgets.
+        Array-native instances are lifted to the string-keyed model.
     policy:
         The admission policy under test; ``bind`` is called here.
     """
 
-    def __init__(self, instance: MMDInstance, policy: AdmissionPolicy) -> None:
-        self.instance = instance
+    def __init__(
+        self,
+        instance: "MMDInstance | IndexedInstance",
+        policy: AdmissionPolicy,
+    ) -> None:
+        self.instance = ensure_instance(instance)
         self.policy = policy
-        self.policy.bind(instance)
-        self.view = ResourceView(instance)
+        self.policy.bind(self.instance)
+        self.view = ResourceView(self.instance)
         self.engine = Engine()
         self._utility_rate = TimeWeightedValue()
-        self._user_rate = {u.user_id: TimeWeightedValue() for u in instance.users}
+        # Sparse: a user's integrator is created on first delivery, so a
+        # run touching few users never materializes O(n) objects.
+        self._user_rate: "dict[str, TimeWeightedValue]" = {}
         self._server_load = {
             i: TimeWeightedValue()
-            for i, b in enumerate(instance.budgets)
+            for i, b in enumerate(self.instance.budgets)
             if not math.isinf(b)
         }
         self._active_receivers: "dict[str, list[str]]" = {}
@@ -123,14 +177,27 @@ class VideoDistributionSim:
     # Event handlers
     # ------------------------------------------------------------------
 
+    def _user_stat(self, user_id: str) -> TimeWeightedValue:
+        stat = self._user_rate.get(user_id)
+        if stat is None:
+            stat = self._user_rate[user_id] = TimeWeightedValue()
+        return stat
+
     def _clip_to_feasible(self, stream_id: str, receivers: "list[str]") -> "list[str]":
         """Hard feasibility guard: drop the stream on server overflow,
-        drop individual users on capacity overflow; count violations."""
+        drop individual users on capacity overflow; count violations.
+        Duplicate receivers (a buggy policy answering the same user
+        twice) are collapsed to the first occurrence — a multicast
+        delivery has no double-receive."""
         if receivers and not self.view.fits_server(stream_id):
             self.policy_violations += 1
             return []
         kept = []
+        seen: set[str] = set()
         for uid in receivers:
+            if uid in seen:
+                continue
+            seen.add(uid)
             if self.instance.user(uid).utility(stream_id) <= 0:
                 self.policy_violations += 1
                 continue
@@ -152,7 +219,7 @@ class VideoDistributionSim:
         self.deliveries += len(receivers)
         now = self.engine.now
         stream = self.instance.stream(event.stream_id)
-        self.view.active_streams.add(event.stream_id)
+        self.view.activate(event.stream_id)
         self._active_receivers[event.stream_id] = receivers
         for i in range(self.instance.m):
             self.view.server_used[i] += stream.costs[i]
@@ -167,7 +234,7 @@ class VideoDistributionSim:
             for j in range(self.instance.mc):
                 self.view.user_used[uid][j] += loads[j]
             rate_gain += user.utilities[event.stream_id]
-            self._user_rate[uid].add(now, user.utilities[event.stream_id])
+            self._user_stat(uid).add(now, user.utilities[event.stream_id])
         self._utility_rate.add(now, rate_gain)
         self.engine.schedule(event.duration, lambda: self._on_departure(event.stream_id))
 
@@ -177,7 +244,7 @@ class VideoDistributionSim:
         now = self.engine.now
         stream = self.instance.stream(stream_id)
         receivers = self._active_receivers.pop(stream_id)
-        self.view.active_streams.discard(stream_id)
+        self.view.deactivate(stream_id)
         for i in range(self.instance.m):
             self.view.server_used[i] -= stream.costs[i]
             if i in self._server_load:
@@ -191,7 +258,7 @@ class VideoDistributionSim:
             for j in range(self.instance.mc):
                 self.view.user_used[uid][j] -= loads[j]
             rate_loss += user.utilities[stream_id]
-            self._user_rate[uid].add(now, -user.utilities[stream_id])
+            self._user_stat(uid).add(now, -user.utilities[stream_id])
         self._utility_rate.add(now, -rate_loss)
         self.policy.on_release(stream_id)
 
@@ -199,8 +266,12 @@ class VideoDistributionSim:
     # Driving
     # ------------------------------------------------------------------
 
-    def run_trace(self, trace: "list[SessionEvent]", horizon: float) -> SimulationReport:
+    def run_trace(
+        self, trace: "list[SessionEvent] | IndexedTrace", horizon: float
+    ) -> SimulationReport:
         """Replay a pre-drawn trace up to ``horizon`` and report."""
+        if isinstance(trace, IndexedTrace):
+            trace = trace.to_events(ensure_indexed(self.instance))
         for event in trace:
             if event.time > horizon:
                 continue
@@ -213,6 +284,8 @@ class VideoDistributionSim:
             offered=self.offered,
             admitted=self.admitted,
             deliveries=self.deliveries,
+            policy_violations=self.policy_violations,
+            num_users=self.instance.num_users,
         )
         for i, stat in self._server_load.items():
             report.server_utilization[i] = stat.mean(horizon)
@@ -228,22 +301,86 @@ class VideoDistributionSim:
         seed: "int | np.random.Generator | None" = None,
     ) -> SimulationReport:
         """Draw a trace and replay it (one-policy convenience)."""
-        trace = draw_trace(self.instance, model or ArrivalModel(), horizon, seed)
+        trace = draw_trace(
+            self.instance, model or ArrivalModel(), horizon, seed, engine="dict"
+        )
         return self.run_trace(trace, horizon)
 
 
+def simulate_trace(
+    instance: "MMDInstance | IndexedInstance",
+    policy: AdmissionPolicy,
+    trace: "list[SessionEvent] | IndexedTrace",
+    horizon: float,
+    engine: "str | None" = None,
+) -> SimulationReport:
+    """Replay one trace under one policy with the chosen engine.
+
+    The engine-dispatching front door: ``engine="indexed"`` (default)
+    runs :class:`repro.sim.indexed.IndexedVideoSim`, ``engine="dict"``
+    the original :class:`VideoDistributionSim`; both accept either trace
+    representation and produce identical reports on the same trace.
+    """
+    if resolve_sim_engine(engine) == "indexed":
+        return IndexedVideoSim(instance, policy).run_trace(trace, horizon)
+    return VideoDistributionSim(instance, policy).run_trace(trace, horizon)
+
+
+def _simulate_one(args) -> SimulationReport:
+    """Process-pool worker for :func:`compare_policies` (top level: picklable)."""
+    instance, policy, trace, horizon, engine = args
+    return simulate_trace(instance, policy, trace, horizon, engine=engine)
+
+
 def compare_policies(
-    instance: MMDInstance,
+    instance: "MMDInstance | IndexedInstance",
     policies: "list[AdmissionPolicy]",
     horizon: float,
     model: "ArrivalModel | None" = None,
     seed: "int | np.random.Generator | None" = 0,
+    *,
+    engine: "str | None" = None,
+    parallel: int = 1,
+    trace: "list[SessionEvent] | IndexedTrace | None" = None,
 ) -> "list[SimulationReport]":
     """Run every policy over the *same* arrival trace (common random
-    numbers) and return their reports, in the given policy order."""
-    trace = draw_trace(instance, model or ArrivalModel(), horizon, seed)
-    reports = []
-    for policy in policies:
-        sim = VideoDistributionSim(instance, policy)
-        reports.append(sim.run_trace(trace, horizon))
-    return reports
+    numbers) and return their reports, in the given policy order.
+
+    Parameters
+    ----------
+    instance / policies / horizon / model / seed:
+        As before; ``seed`` feeds the trace draw only.
+    engine:
+        Simulation engine for the trace draw and every replay
+        (``indexed`` default, ``dict`` for the original path,
+        ``$REPRO_SIM_ENGINE`` overrides).
+    parallel:
+        Number of worker processes.  ``1`` (default) replays in-process;
+        ``N > 1`` fans the policies out over a process pool (each worker
+        replays the identical trace, so reports are unchanged).
+    trace:
+        Replay this pre-drawn trace instead of drawing one.
+    """
+    engine = resolve_sim_engine(engine)
+    if parallel < 1:
+        raise ValidationError(f"parallel must be >= 1, got {parallel}")
+    if trace is None:
+        if engine == "indexed":
+            trace = draw_trace_arrays(instance, model or ArrivalModel(), horizon, seed)
+        else:
+            trace = draw_trace(
+                instance, model or ArrivalModel(), horizon, seed, engine="dict"
+            )
+    if parallel == 1:
+        return [
+            simulate_trace(instance, policy, trace, horizon, engine=engine)
+            for policy in policies
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=parallel) as pool:
+        futures = [
+            pool.submit(_simulate_one, (instance, policy, trace, horizon, engine))
+            for policy in policies
+        ]
+        return [future.result() for future in futures]

@@ -174,3 +174,29 @@ class TestSimulate:
         )
         assert code == 2
         assert "unknown policies" in capsys.readouterr().err
+
+    def test_engine_flag_selects_dict_path(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policies", "threshold",
+                "--horizon", "30",
+                "--engine", "dict",
+            ]
+        )
+        assert code == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_parallel_replay(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policies", "threshold", "density",
+                "--horizon", "30",
+                "--parallel", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out
+        assert "density" in out

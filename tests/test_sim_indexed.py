@@ -1,0 +1,352 @@
+"""Parity suite for the array-native simulation engine.
+
+The indexed engine (:mod:`repro.sim.indexed`) promises reports that are
+*float-identical* to the dict engine's on any common trace: same utility
+integral, same admits/deliveries/violations, same per-user utilities and
+server utilizations.  These hypothesis-driven tests replay the same
+dict-drawn trace under both engines for every built-in policy and assert
+equality with ``==``, plus determinism-under-seed for the vectorized
+trace draw and regression tests for the degenerate-input fixes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexed import ensure_indexed
+from repro.core.instance import MMDInstance, User
+from repro.instances.generators import random_mmd
+from repro.instances.workloads import iptv_neighborhood_workload
+from repro.sim.engine import merged_replay_order
+from repro.sim.indexed import (
+    IndexedTrace,
+    IndexedVideoSim,
+    draw_trace_arrays,
+    resolve_sim_engine,
+)
+from repro.sim.policies import (
+    AdmissionPolicy,
+    AllocatePolicy,
+    DensityPolicy,
+    RandomPolicy,
+    ThresholdPolicy,
+)
+from repro.sim.simulation import (
+    ArrivalModel,
+    SessionEvent,
+    compare_policies,
+    draw_trace,
+    simulate_trace,
+)
+
+MODEL = ArrivalModel(rate=2.0, mean_duration=12.0)
+
+POLICY_FACTORIES = {
+    "threshold": lambda: ThresholdPolicy(margin=1.0),
+    "allocate": lambda: AllocatePolicy(),
+    "density": lambda: DensityPolicy(quantile=0.5),
+    "random": lambda: RandomPolicy(p=0.6, seed=3),
+}
+
+
+def assert_reports_identical(first, second):
+    """Every report field must match exactly (floats with ==)."""
+    assert first.policy_name == second.policy_name
+    assert first.utility_time == second.utility_time
+    assert first.offered == second.offered
+    assert first.admitted == second.admitted
+    assert first.deliveries == second.deliveries
+    assert first.policy_violations == second.policy_violations
+    assert first.num_users == second.num_users
+    assert first.per_user_utility == second.per_user_utility
+    assert first.server_utilization == second.server_utilization
+    assert first.peak_server_utilization == second.peak_server_utilization
+
+
+class TestEngineParity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        size=st.tuples(st.integers(2, 10), st.integers(1, 8)),
+        policy_key=st.sampled_from(sorted(POLICY_FACTORIES)),
+    )
+    def test_random_mmd_parity(self, seed, size, policy_key):
+        instance = random_mmd(*size, m=2, mc=1, seed=seed, budget_fraction=0.3)
+        trace = draw_trace(instance, MODEL, horizon=40.0, seed=seed, engine="dict")
+        factory = POLICY_FACTORIES[policy_key]
+        dict_report = simulate_trace(instance, factory(), trace, 40.0, engine="dict")
+        idx_report = simulate_trace(instance, factory(), trace, 40.0, engine="indexed")
+        assert_reports_identical(dict_report, idx_report)
+
+    @pytest.mark.parametrize("policy_key", sorted(POLICY_FACTORIES))
+    def test_workload_parity(self, policy_key):
+        instance = iptv_neighborhood_workload(
+            num_channels=14, num_households=6, seed=11
+        )
+        trace = draw_trace(instance, MODEL, horizon=150.0, seed=7, engine="indexed")
+        factory = POLICY_FACTORIES[policy_key]
+        dict_report = simulate_trace(instance, factory(), trace, 150.0, engine="dict")
+        idx_report = simulate_trace(instance, factory(), trace, 150.0, engine="indexed")
+        assert dict_report.admitted > 0  # a vacuous run proves nothing
+        assert_reports_identical(dict_report, idx_report)
+
+    def test_clipping_parity_under_overshooting_policy(self):
+        """A margin > 1 threshold policy answers infeasibly; both engines
+        must clip identically and count the same violations."""
+        instance = iptv_neighborhood_workload(
+            num_channels=14, num_households=6, seed=11
+        )
+        model = ArrivalModel(rate=3.0, mean_duration=25.0)
+        trace = draw_trace(instance, model, horizon=150.0, seed=7, engine="dict")
+        dict_report = simulate_trace(
+            instance, ThresholdPolicy(margin=1.6), trace, 150.0, engine="dict"
+        )
+        idx_report = simulate_trace(
+            instance, ThresholdPolicy(margin=1.6), trace, 150.0, engine="indexed"
+        )
+        assert dict_report.policy_violations > 0
+        assert_reports_identical(dict_report, idx_report)
+
+    def test_indexed_trace_replays_identically(self):
+        """Both engines accept both trace representations."""
+        instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=2)
+        arrays = draw_trace_arrays(instance, MODEL, horizon=60.0, seed=9)
+        events = draw_trace(instance, MODEL, horizon=60.0, seed=9, engine="indexed")
+        reports = [
+            simulate_trace(instance, ThresholdPolicy(), trace, 60.0, engine=engine)
+            for trace in (arrays, events)
+            for engine in ("dict", "indexed")
+        ]
+        for other in reports[1:]:
+            assert_reports_identical(reports[0], other)
+
+    def test_adapter_policy_runs_under_indexed_engine(self):
+        """A custom policy implementing only the string API works (and
+        matches the dict engine) via the default indexed adapters."""
+
+        class FirstUserPolicy(AdmissionPolicy):
+            name = "first-user"
+
+            def on_offer(self, stream_id, view):
+                if not view.fits_server(stream_id):
+                    return []
+                interested = view.interested_users(stream_id)
+                return interested[:1] if interested else []
+
+        instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=5)
+        trace = draw_trace(instance, MODEL, horizon=80.0, seed=13, engine="dict")
+        dict_report = simulate_trace(instance, FirstUserPolicy(), trace, 80.0, engine="dict")
+        idx_report = simulate_trace(instance, FirstUserPolicy(), trace, 80.0, engine="indexed")
+        assert dict_report.admitted > 0
+        assert_reports_identical(dict_report, idx_report)
+
+    def test_duplicate_receivers_collapse_identically(self):
+        """A buggy policy answering the same user twice: both engines
+        collapse the duplicate, keeping reports consistent and equal."""
+
+        class EveryoneTwicePolicy(AdmissionPolicy):
+            name = "everyone-twice"
+
+            def on_offer(self, stream_id, view):
+                interested = view.interested_users(stream_id)
+                return interested + interested
+
+        instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=6)
+        trace = draw_trace(instance, MODEL, horizon=60.0, seed=15, engine="dict")
+        dict_report = simulate_trace(
+            instance, EveryoneTwicePolicy(), trace, 60.0, engine="dict"
+        )
+        idx_report = simulate_trace(
+            instance, EveryoneTwicePolicy(), trace, 60.0, engine="indexed"
+        )
+        assert dict_report.admitted > 0
+        assert_reports_identical(dict_report, idx_report)
+        assert sum(idx_report.per_user_utility.values()) == pytest.approx(
+            idx_report.utility_time
+        )
+
+    def test_negative_duration_rejected_loudly(self):
+        """The indexed engine must not silently admit a never-departing
+        session (the dict engine raises when scheduling into the past)."""
+        from repro.exceptions import SimulationError
+
+        instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
+        trace = [
+            SessionEvent(
+                time=5.0, stream_id=instance.stream_ids()[0], duration=-2.0
+            )
+        ]
+        with pytest.raises(SimulationError, match="negative"):
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine="indexed")
+        with pytest.raises(SimulationError):
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine="dict")
+
+    def test_compare_policies_engines_agree(self):
+        instance = iptv_neighborhood_workload(num_channels=10, num_households=5, seed=3)
+        trace = draw_trace(instance, MODEL, horizon=100.0, seed=21, engine="dict")
+        for key in sorted(POLICY_FACTORIES):
+            factory = POLICY_FACTORIES[key]
+            [dict_report] = compare_policies(
+                instance, [factory()], 100.0, MODEL, trace=trace, engine="dict"
+            )
+            [idx_report] = compare_policies(
+                instance, [factory()], 100.0, MODEL, trace=trace, engine="indexed"
+            )
+            assert_reports_identical(dict_report, idx_report)
+
+    def test_compare_policies_parallel_matches_serial(self):
+        instance = iptv_neighborhood_workload(num_channels=10, num_households=5, seed=4)
+        serial = compare_policies(
+            instance,
+            [ThresholdPolicy(), DensityPolicy(0.5)],
+            80.0,
+            MODEL,
+            seed=6,
+        )
+        parallel = compare_policies(
+            instance,
+            [ThresholdPolicy(), DensityPolicy(0.5)],
+            80.0,
+            MODEL,
+            seed=6,
+            parallel=2,
+        )
+        for one, two in zip(serial, parallel):
+            assert_reports_identical(one, two)
+
+
+class TestVectorizedDraw:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), rate=st.sampled_from([0.5, 2.0, 8.0]))
+    def test_deterministic_under_seed(self, seed, rate):
+        instance = iptv_neighborhood_workload(num_channels=9, num_households=3, seed=1)
+        model = ArrivalModel(rate=rate, mean_duration=5.0)
+        first = draw_trace_arrays(instance, model, horizon=50.0, seed=seed)
+        second = draw_trace_arrays(instance, model, horizon=50.0, seed=seed)
+        assert np.array_equal(first.times, second.times)
+        assert np.array_equal(first.streams, second.streams)
+        assert np.array_equal(first.durations, second.durations)
+
+    def test_event_form_matches_array_form(self):
+        instance = iptv_neighborhood_workload(num_channels=9, num_households=3, seed=1)
+        arrays = draw_trace_arrays(instance, MODEL, horizon=40.0, seed=17)
+        events = draw_trace(instance, MODEL, horizon=40.0, seed=17, engine="indexed")
+        assert len(events) == len(arrays)
+        rebuilt = IndexedTrace.from_events(ensure_indexed(instance), events)
+        assert np.array_equal(rebuilt.times, arrays.times)
+        assert np.array_equal(rebuilt.streams, arrays.streams)
+        assert np.array_equal(rebuilt.durations, arrays.durations)
+
+    def test_trace_is_sorted_bounded_and_skewed(self):
+        instance = iptv_neighborhood_workload(num_channels=10, num_households=3, seed=2)
+        model = ArrivalModel(rate=5.0, mean_duration=1.0, popularity_exponent=2.0)
+        trace = draw_trace_arrays(instance, model, horizon=400.0, seed=3)
+        assert np.all(np.diff(trace.times) >= 0)
+        assert float(trace.times[-1]) <= 400.0
+        assert np.all(trace.durations >= 0)
+        counts = np.bincount(trace.streams, minlength=10)
+        assert counts[0] > counts[-1]  # Zipf skew toward rank 1
+
+    @pytest.mark.parametrize("engine", ["dict", "indexed"])
+    def test_zero_rate_returns_empty_trace(self, engine):
+        """Regression: rate == 0 used to raise ZeroDivisionError."""
+        instance = iptv_neighborhood_workload(num_channels=5, num_households=2, seed=0)
+        model = ArrivalModel(rate=0.0)
+        assert draw_trace(instance, model, horizon=50.0, seed=1, engine=engine) == []
+
+    @pytest.mark.parametrize("engine", ["dict", "indexed"])
+    def test_zero_stream_catalog_returns_empty_trace(self, engine):
+        """Regression: an empty catalog used to yield NaN Zipf weights."""
+        instance = MMDInstance(
+            [], [User("u0", math.inf, (5.0,), {}, {})], (10.0,)
+        )
+        assert draw_trace(instance, ArrivalModel(), 50.0, seed=1, engine=engine) == []
+
+    @pytest.mark.parametrize("engine", ["dict", "indexed"])
+    def test_nonpositive_horizon_returns_empty_trace(self, engine):
+        instance = iptv_neighborhood_workload(num_channels=5, num_households=2, seed=0)
+        assert draw_trace(instance, ArrivalModel(), 0.0, seed=1, engine=engine) == []
+
+
+class TestMergedReplayOrder:
+    def test_arrivals_precede_departures_at_ties(self):
+        order = merged_replay_order(
+            np.array([1.0, 3.0]), np.array([3.0, 7.0]), horizon=10.0
+        )
+        # arrival 0, then at t=3 arrival 1 before departure 0, then dep 1.
+        assert [int(c) for c in order] == [0, 1, 2, 3]
+
+    def test_fifo_within_kind(self):
+        order = merged_replay_order(np.array([2.0, 2.0, 2.0]), np.array([9.0, 9.0, 9.0]))
+        assert [int(c) for c in order] == [0, 1, 2, 3, 4, 5]
+
+    def test_horizon_drops_late_events(self):
+        order = merged_replay_order(np.array([1.0, 6.0]), np.array([4.0, 9.0]), horizon=5.0)
+        assert [int(c) for c in order] == [0, 2]
+
+
+class TestSparseReport:
+    def test_per_user_utility_is_sparse(self):
+        """Only users that ever received a stream are recorded."""
+
+        class NobodyPolicy(AdmissionPolicy):
+            name = "nobody"
+
+            def on_offer(self, stream_id, view):
+                return []
+
+        instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=9)
+        trace = draw_trace(instance, MODEL, horizon=40.0, seed=1, engine="dict")
+        for engine in ("dict", "indexed"):
+            report = simulate_trace(instance, NobodyPolicy(), trace, 40.0, engine=engine)
+            assert report.per_user_utility == {}
+            assert report.num_users == instance.num_users
+            assert report.jain_fairness == 1.0
+
+    def test_jain_counts_implicit_zeros(self):
+        from repro.sim.metrics import SimulationReport
+
+        report = SimulationReport(policy_name="p", horizon=1.0, num_users=3)
+        report.per_user_utility = {"a": 9.0}
+        assert report.jain_fairness == pytest.approx(1.0 / 3.0)
+
+    def test_run_reports_subset_of_population(self):
+        instance = iptv_neighborhood_workload(num_channels=10, num_households=4, seed=7)
+        report = IndexedVideoSim(instance, ThresholdPolicy()).run(
+            horizon=80.0, model=MODEL, seed=8
+        )
+        assert set(report.per_user_utility) <= set(instance.user_ids())
+        assert sum(report.per_user_utility.values()) == pytest.approx(
+            report.utility_time
+        )
+
+
+class TestEngineResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "dict")
+        assert resolve_sim_engine("indexed") == "indexed"
+        assert resolve_sim_engine() == "dict"
+
+    def test_default_is_indexed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_sim_engine() == "indexed"
+
+    def test_unknown_engine_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown simulation engine"):
+            resolve_sim_engine("warp")
+
+    def test_env_switches_simulate_trace(self, monkeypatch):
+        instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
+        trace = [SessionEvent(time=1.0, stream_id=instance.stream_ids()[0], duration=5.0)]
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "dict")
+        dict_report = simulate_trace(instance, ThresholdPolicy(), trace, 10.0)
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "indexed")
+        idx_report = simulate_trace(instance, ThresholdPolicy(), trace, 10.0)
+        assert_reports_identical(dict_report, idx_report)

@@ -74,7 +74,11 @@ class TestFairness:
         inst = iptv_neighborhood_workload(num_channels=10, num_households=4, seed=7)
         sim = VideoDistributionSim(inst, ThresholdPolicy())
         report = sim.run(horizon=80.0, model=ArrivalModel(rate=2.0), seed=8)
-        assert set(report.per_user_utility) == set(inst.user_ids())
+        # per_user_utility is sparse: only users that ever received a
+        # stream are recorded; num_users carries the population size.
+        assert set(report.per_user_utility) <= set(inst.user_ids())
+        assert report.per_user_utility  # this run delivers to someone
+        assert report.num_users == inst.num_users
         assert sum(report.per_user_utility.values()) == pytest.approx(
             report.utility_time
         )
