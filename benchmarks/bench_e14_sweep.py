@@ -1,0 +1,124 @@
+"""E14 — experiment-runner overhead and shard scaling.
+
+The orchestration layer (`repro.experiments`) must be free lunch: a
+spec-driven `run_experiment` over a sweep grid does exactly the work of
+the direct `solve_many(sweep_instances(...))` loop — same derived
+per-unit seeds, same instances, same solves — plus spec expansion, row
+building and (optional) checkpointing.  This bench asserts:
+
+- **overhead**: `run_experiment` wall-clock stays within 10% of the
+  direct path (plus a small absolute slack for timer jitter on the
+  CI-sized grid), with per-unit utilities *identical*;
+- **shard union**: `--shard 0/2` + `--shard 1/2` cover exactly the full
+  grid's unit ids and their merged aggregate is byte-identical to the
+  unsharded run's; the per-shard times are reported (ideal scaling:
+  each shard ≈ half the full run).
+
+Set ``REPRO_E14_SCALE=small`` for the CI smoke grid.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.solver import solve_many
+from repro.experiments import ScenarioSpec, merge_checkpoints, run_experiment
+from repro.instances.generators import sweep_instances
+from repro.util.timing import Timer
+
+from benchmarks.common import run_once, stage_section
+
+FULL_SCALE = os.environ.get("REPRO_E14_SCALE", "full") != "small"
+NUM_USERS = 5_000 if FULL_SCALE else 1_000
+NUM_STREAMS = 200
+SKEWS = (1.0, 4.0)
+DENSITY = 0.01
+#: Relative overhead ceiling (plus absolute slack for timer jitter).
+MAX_OVERHEAD = 0.10
+SLACK_SECONDS = 0.05
+
+SPEC = ScenarioSpec(
+    name="e14-sweep",
+    kind="solve",
+    family="sweep",
+    streams=(NUM_STREAMS,),
+    users=(NUM_USERS,),
+    skews=SKEWS,
+    base_seed=0,
+    params={"density": DENSITY},
+)
+
+
+def _timed(fn):
+    timer = Timer()
+    with timer:
+        result = fn()
+    return timer.elapsed, result
+
+
+def bench_e14_sweep_runner(benchmark, tmp_path_factory):
+    ckpt_dir = tmp_path_factory.mktemp("e14")
+
+    def experiment():
+        t_direct, direct = _timed(
+            lambda: solve_many(
+                sweep_instances(
+                    [NUM_STREAMS], [NUM_USERS], SKEWS, seed=0, density=DENSITY
+                )
+            )
+        )
+        t_runner, run = _timed(lambda: run_experiment(SPEC))
+        shard_times = []
+        checkpoints = []
+        for i in range(2):
+            path = ckpt_dir / f"shard{i}.jsonl"
+            t_shard, _ = _timed(
+                lambda p=path, i=i: run_experiment(SPEC, shard=(i, 2), checkpoint=p)
+            )
+            shard_times.append(t_shard)
+            checkpoints.append(path)
+        merged = merge_checkpoints(SPEC, checkpoints)
+        return {
+            "t_direct": t_direct,
+            "t_runner": t_runner,
+            "shard_times": shard_times,
+            "direct_utilities": [r.utility for r in direct],
+            "runner_utilities": [r["utility"] for r in run.rows],
+            "merged_identical": merged.to_jsonl() == run.to_jsonl(),
+        }
+
+    data = run_once(benchmark, experiment)
+    assert data["runner_utilities"] == data["direct_utilities"], (
+        "runner diverged from the direct solve_many path"
+    )
+    assert data["merged_identical"], "shard union is not byte-identical"
+    overhead = data["t_runner"] / max(data["t_direct"], 1e-9) - 1.0
+    assert data["t_runner"] <= (1.0 + MAX_OVERHEAD) * data["t_direct"] + SLACK_SECONDS, (
+        f"runner overhead {overhead:+.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(direct {data['t_direct']:.3f}s, runner {data['t_runner']:.3f}s)"
+    )
+    slowest_shard = max(data["shard_times"])
+    rows = [
+        ["direct solve_many", f"{data['t_direct']:.3f} s", "—"],
+        ["run_experiment (full grid)", f"{data['t_runner']:.3f} s",
+         f"{overhead:+.1%} overhead"],
+        ["shard 0/2", f"{data['shard_times'][0]:.3f} s", "checkpointed"],
+        ["shard 1/2", f"{data['shard_times'][1]:.3f} s", "checkpointed"],
+        ["slowest shard vs full", f"{slowest_shard:.3f} s",
+         f"{slowest_shard / max(data['t_runner'], 1e-9):.2f}× of full "
+         "(ideal 0.50×)"],
+    ]
+    stage_section(
+        "E14",
+        f"Experiment runner overhead and shard scaling "
+        f"({NUM_USERS} users × {NUM_STREAMS} streams × skews {list(SKEWS)})",
+        "run_experiment drives the same per-unit seeds and solves as the "
+        "direct solve_many path (identical utilities asserted), within "
+        f"{MAX_OVERHEAD:.0%} wall-clock; two shard runs cover the grid and "
+        "merge byte-identically.",
+        ["path", "wall-clock", "notes"],
+        rows,
+        notes="Per-unit seeds derive from (base_seed, unit_index), so "
+        "shards never re-draw or skip randomness; checkpoint rows are "
+        "appended per completed unit.",
+    )

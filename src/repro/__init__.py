@@ -92,6 +92,15 @@ from repro.core.solver import (
     theorem_1_1_bound,
 )
 from repro.core.utility import CoverageUtility
+from repro.experiments import (
+    ExperimentRun,
+    ScenarioSpec,
+    SpecError,
+    WorkUnit,
+    builtin_specs,
+    load_spec,
+    run_experiment,
+)
 from repro.exceptions import (
     InfeasibleError,
     ReproError,
@@ -147,6 +156,14 @@ __all__ = [
     "ensure_instance",
     "ensure_indexed",
     "resolve_engine",
+    # experiment orchestration
+    "ScenarioSpec",
+    "SpecError",
+    "WorkUnit",
+    "ExperimentRun",
+    "builtin_specs",
+    "load_spec",
+    "run_experiment",
     # end-to-end solvers and heuristics
     "solve_smd",
     "solve_mmd",

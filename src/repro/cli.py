@@ -16,13 +16,25 @@ Commands
 ``solve-many``
     Batch-solve a JSONL stream of instances — or a generated
     catalog × population × skew sweep — optionally over a process pool;
-    emit one JSON result per line.
+    emit one JSON result per line.  (Delegates to the experiment
+    runner; ``repro sweep`` is the full-featured door.)
 ``simulate``
     Run the discrete-event simulator on a named workload under one or
     more policies and print the comparison table.
+``sweep``
+    Run a declarative scenario spec (a file, or a shipped name such as
+    ``e12-generation``) through the sharded resumable experiment
+    runner: ``--shard i/n`` splits the grid across machines,
+    ``--checkpoint``/``--resume`` survive kills, ``--merge`` folds
+    shard checkpoints into one aggregate.
+``simulate-many``
+    The simulation counterpart: a workload × size × seed × policy grid
+    through the same runner (specs of ``kind = "simulate"``, or an
+    inline grid from flags).
 
-All commands read/write plain JSON (``generate --count`` and
-``solve-many`` stream JSON Lines) so they compose with shell pipelines.
+All commands read/write plain JSON (``generate --count``,
+``solve-many``, ``sweep`` and ``simulate-many`` stream JSON Lines) so
+they compose with shell pipelines.
 """
 
 from __future__ import annotations
@@ -35,13 +47,15 @@ from pathlib import Path
 from repro.core.allocate import global_skew_parameters, small_streams_condition
 from repro.core.instance import MMDInstance
 from repro.core.optimal import lp_upper_bound, solve_exact_milp
-from repro.core.solver import iter_solve_many, solve_mmd, theorem_1_1_bound
+from repro.core.solver import solve_mmd, theorem_1_1_bound
+from repro.config import ENGINE_SETTINGS
+from repro.exceptions import ValidationError
+from repro.experiments.spec import ScenarioSpec, SpecError
 from repro.instances.generators import (
     random_mmd,
     random_smd,
     random_unit_skew_smd,
     small_streams_mmd,
-    sweep_instances,
     tightness_instance,
 )
 from repro.instances.workloads import (
@@ -177,7 +191,6 @@ def cmd_validate(args: argparse.Namespace) -> int:
     paper's convention that ``w_u(S) = 0`` when a single stream's load
     exceeds a capacity."""
     from repro.core.instance import sanitize_utilities
-    from repro.exceptions import ValidationError
 
     text = Path(args.instance).read_text() if args.instance != "-" else sys.stdin.read()
     try:
@@ -265,45 +278,56 @@ def _float_list(text: str) -> "list[float]":
     return [float(part) for part in text.split(",") if part.strip()]
 
 
-def _iter_jsonl_instances(path: str):
-    """Stream instances from a JSON Lines file (or stdin with ``-``)."""
-    handle = sys.stdin if path == "-" else Path(path).open()
-    try:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield MMDInstance.from_json(line)
-    finally:
-        if handle is not sys.stdin:
-            handle.close()
+def _solve_many_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """Build the runner spec a ``solve-many`` invocation describes."""
+    if args.input is not None:
+        return ScenarioSpec(
+            name="solve-many",
+            kind="solve",
+            family="jsonl",
+            input=args.input,  # "-" streams stdin lazily, line by line
+            method=args.method,
+            engine=args.engine,
+        ).validate()
+    return ScenarioSpec(
+        name="solve-many",
+        kind="solve",
+        family="sweep",
+        streams=tuple(_int_list(args.sweep_streams)),
+        users=tuple(_int_list(args.sweep_users)),
+        skews=tuple(_float_list(args.sweep_skews)),
+        base_seed=args.seed,
+        method=args.method,
+        engine=args.engine,
+        gen_engine=args.gen_engine,
+        params={"density": args.density},
+    ).validate()
 
 
 def cmd_solve_many(args: argparse.Namespace) -> int:
-    """Batch-solve instances from a JSONL file or a generated sweep."""
+    """Batch-solve instances from a JSONL file or a generated sweep.
+
+    A thin door over the experiment runner
+    (:func:`repro.experiments.runner.iter_experiment`): the sweep mode
+    is a ``family="sweep"`` spec, the ``--input`` mode a
+    ``family="jsonl"`` spec, both streamed unit by unit.  ``repro
+    sweep`` exposes the runner's sharding/checkpointing on top of the
+    same pipeline.
+    """
+    from repro.experiments.runner import iter_experiment
+
     if args.input is None and args.sweep_streams is None:
         print("solve-many needs --input FILE or --sweep-streams/--sweep-users",
               file=sys.stderr)
         return 2
-    if args.input is not None:
-        instances = _iter_jsonl_instances(args.input)
-    else:
-        if args.sweep_users is None:
-            print("--sweep-streams requires --sweep-users", file=sys.stderr)
-            return 2
-        instances = sweep_instances(
-            _int_list(args.sweep_streams),
-            _int_list(args.sweep_users),
-            _float_list(args.sweep_skews),
-            seed=args.seed,
-            density=args.density,
-            engine=args.gen_engine,
-        )
-    results = iter_solve_many(
-        instances,
-        method=args.method,
-        parallel=args.parallel,
-        engine=args.engine,
-    )
+    if args.input is None and args.sweep_users is None:
+        print("--sweep-streams requires --sweep-users", file=sys.stderr)
+        return 2
+    try:
+        spec = _solve_many_spec(args)
+    except SpecError as exc:
+        print(f"bad sweep grid: {exc}", file=sys.stderr)
+        return 2
     # Stream: each result line is written (and flushed) as soon as the
     # instance finishes, so huge sweeps never accumulate in memory; the
     # small summary rows are retained only when a closing table will
@@ -312,28 +336,17 @@ def cmd_solve_many(args: argparse.Namespace) -> int:
     summary_rows: "list[list[object]]" = []
     out = _open_out(args.output)
     try:
-        for result in results:
-            carried = len(result.assignment.assigned_streams())
-            payload = {
-                "name": result.assignment.instance.name,
-                "streams": result.assignment.instance.num_streams,
-                "users": result.assignment.instance.num_users,
-                "method": result.method,
-                "utility": result.utility,
-                "guarantee": result.guarantee,
-                "feasible": result.assignment.is_feasible(),
-                "streams_carried": carried,
-            }
-            out.write(json.dumps(payload))
+        for row in iter_experiment(spec, workers=args.parallel):
+            out.write(json.dumps(row, sort_keys=True))
             out.write("\n")
             out.flush()
             if want_table:
                 summary_rows.append(
                     [
-                        result.assignment.instance.name or "(unnamed)",
-                        result.method,
-                        result.utility,
-                        carried,
+                        row["name"] or "(unnamed)",
+                        row["method"],
+                        row["utility"],
+                        row["streams_carried"],
                     ]
                 )
     finally:
@@ -351,64 +364,224 @@ def cmd_solve_many(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.analysis.ascii_plot import bar_chart
-    from repro.sim.policies import (
-        AllocatePolicy,
-        DensityPolicy,
-        RandomPolicy,
-        ThresholdPolicy,
-    )
-    from repro.sim.simulation import ArrivalModel, compare_policies
+    """Run the DES on one workload and print the policy comparison.
 
-    policy_factories = {
-        "threshold": ThresholdPolicy,
-        "allocate": AllocatePolicy,
-        "density": DensityPolicy,
-        "random": lambda: RandomPolicy(seed=args.seed),
-    }
-    unknown = [p for p in args.policies if p not in policy_factories]
-    if unknown:
-        print(f"unknown policies: {unknown}; pick from {sorted(policy_factories)}",
-              file=sys.stderr)
+    One-cell ``kind="simulate"`` spec through the experiment runner:
+    the explicit ``seeds=(seed,)`` pins the workload build, the trace
+    draw and the RandomPolicy stream exactly as the pre-runner code
+    wired them, so tables are unchanged.
+    """
+    from repro.analysis.ascii_plot import bar_chart
+    from repro.experiments.runner import run_experiment
+
+    try:
+        spec = ScenarioSpec(
+            name=f"simulate-{args.workload}",
+            kind="simulate",
+            family=args.workload,
+            seeds=(args.seed,),
+            policies=tuple(args.policies),
+            horizon=args.horizon,
+            rate=args.rate,
+            duration=args.duration,
+            popularity=args.popularity,
+            sim_engine=args.engine,
+        ).validate()
+    except SpecError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    instance = WORKLOADS[args.workload](seed=args.seed)
-    model = ArrivalModel(
-        rate=args.rate,
-        mean_duration=args.duration,
-        popularity_exponent=args.popularity,
-    )
-    reports = compare_policies(
-        instance,
-        [policy_factories[p]() for p in args.policies],
-        horizon=args.horizon,
-        model=model,
-        seed=args.seed,
-        engine=args.engine,
-        parallel=args.parallel,
-    )
+    run = run_experiment(spec, workers=args.parallel)
     table = Table(
         ["policy", "utility·time", "accept", "peak load", "fairness"],
         title=f"{args.workload} | rate={args.rate} duration={args.duration} "
         f"horizon={args.horizon}",
     )
-    for report in sorted(reports, key=lambda r: -r.utility_time):
+    for row in sorted(run.rows, key=lambda r: -r["utility_time"]):
         table.add_row(
             [
-                report.policy_name,
-                report.utility_time,
-                report.acceptance_rate,
-                max(report.peak_server_utilization.values(), default=0.0),
-                report.jain_fairness,
+                row["policy"],
+                row["utility_time"],
+                row["acceptance"],
+                row["peak_utilization"],
+                row["jain"],
             ]
         )
     print(table.render())
     print()
     print(
         bar_chart(
-            [r.policy_name for r in reports],
-            [r.utility_time for r in reports],
+            [row["policy"] for row in run.rows],
+            [row["utility_time"] for row in run.rows],
         )
     )
+    return 0
+
+
+def _parse_shard(text: "str | None") -> "tuple[int, int] | None":
+    """Parse ``--shard i/n`` (``None`` passes through)."""
+    if text is None:
+        return None
+    try:
+        i_text, n_text = text.split("/", 1)
+        shard = (int(i_text), int(n_text))
+    except ValueError:
+        raise SpecError(f"bad --shard {text!r}: expected i/n, e.g. 0/4") from None
+    if shard[1] < 1 or not 0 <= shard[0] < shard[1]:
+        raise SpecError(f"bad --shard {text!r}: need 0 <= i < n")
+    return shard
+
+
+def _write_run_outputs(run, args: argparse.Namespace) -> None:
+    """Emit an ExperimentRun: aggregate JSONL (stdout or file) + .npz."""
+    if args.output and args.output != "-":
+        run.to_jsonl(args.output)
+    else:
+        sys.stdout.write(run.to_jsonl())
+    if getattr(args, "npz", None):
+        run.to_npz(args.npz)
+
+
+def _stream_experiment(spec, shard, args: argparse.Namespace):
+    """Run a spec, streaming aggregate rows as units complete.
+
+    Each deterministic row (runtimes stripped, sorted keys) is written
+    and flushed the moment its unit finishes — units arrive in index
+    order, so the streamed text is byte-identical to the closing
+    :meth:`ExperimentRun.to_jsonl` aggregate, and ``repro sweep ... |
+    head`` sees output while the grid is still running.  Returns the
+    aggregated :class:`ExperimentRun` (for the `.npz` and the summary).
+    """
+    import itertools
+
+    from repro.experiments.runner import (
+        NONDETERMINISTIC_FIELDS,
+        ExperimentRun,
+        iter_experiment,
+    )
+
+    results = iter_experiment(
+        spec,
+        shard=shard,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    # Pull the first row before opening --output: the runner's up-front
+    # refusals (e.g. an existing checkpoint without --resume) must not
+    # truncate a previous run's output file.
+    head = list(itertools.islice(results, 1))
+    rows = []
+    out = _open_out(args.output)
+    try:
+        for row in itertools.chain(head, results):
+            rows.append(row)
+            kept = {k: v for k, v in row.items() if k not in NONDETERMINISTIC_FIELDS}
+            out.write(json.dumps(kept, sort_keys=True))
+            out.write("\n")
+            out.flush()
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    rows.sort(key=lambda r: int(r["unit"]))
+    run = ExperimentRun(spec=spec, rows=rows, shard=shard)
+    if getattr(args, "npz", None):
+        run.to_npz(args.npz)
+    return run
+
+
+def _sweep_summary(run, shard, title: str) -> Table:
+    """The closing summary table of a runner invocation."""
+    columns = run.columnar()
+    table = Table(["field", "value"], title=title)
+    table.add_row(["spec", run.spec.name])
+    table.add_row(["kind", run.spec.kind])
+    table.add_row(["units completed", len(run.rows)])
+    table.add_row(["shard", f"{shard[0]}/{shard[1]}" if shard else "full grid"])
+    if len(run.rows):
+        table.add_row(["mean objective", float(columns["objective"].mean())])
+        table.add_row(["mean Jain fairness", float(columns["jain"].mean())])
+        table.add_row(["total runtime (s)", float(columns["runtime"].sum())])
+    return table
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run (or merge) a scenario spec through the experiment runner."""
+    from repro.experiments.runner import merge_checkpoints
+    from repro.experiments.spec import builtin_specs, resolve_spec
+
+    if args.list:
+        table = Table(["spec", "kind", "units"], title="shipped scenario specs")
+        for name in sorted(builtin_specs()):
+            spec = resolve_spec(name)
+            table.add_row([name, spec.kind, spec.num_units()])
+        print(table.render())
+        return 0
+    if args.spec is None:
+        print("sweep needs a SPEC (file path or shipped name); see --list",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = resolve_spec(args.spec)
+        shard = _parse_shard(args.shard)
+    except SpecError as exc:
+        print(f"bad spec: {exc}", file=sys.stderr)
+        return 2
+    if args.merge:
+        try:
+            run = merge_checkpoints(spec, args.merge)
+        except ValidationError as exc:
+            print(f"merge incomplete: {exc}", file=sys.stderr)
+            return 1
+        _write_run_outputs(run, args)
+        print(_sweep_summary(run, None, "sweep --merge").render(), file=sys.stderr)
+        return 0
+    try:
+        run = _stream_experiment(spec, shard, args)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(_sweep_summary(run, shard, "sweep").render(), file=sys.stderr)
+    return 0
+
+
+def cmd_simulate_many(args: argparse.Namespace) -> int:
+    """Run a simulation grid (spec file/name, or an inline grid) sharded."""
+    from repro.experiments.spec import resolve_spec
+
+    try:
+        if args.spec is not None:
+            spec = resolve_spec(args.spec)
+            if spec.kind != "simulate":
+                print(f"spec {spec.name!r} has kind={spec.kind!r}; "
+                      "simulate-many needs a simulate spec (use repro sweep)",
+                      file=sys.stderr)
+                return 2
+        else:
+            spec = ScenarioSpec(
+                name=f"simulate-many-{args.workload}",
+                kind="simulate",
+                family=args.workload,
+                streams=tuple(_int_list(args.streams)) if args.streams else None,
+                users=tuple(_int_list(args.users)) if args.users else None,
+                replicates=args.replicates,
+                base_seed=args.seed,
+                policies=tuple(args.policies),
+                horizon=args.horizon,
+                rate=args.rate,
+                duration=args.duration,
+                popularity=args.popularity,
+                sim_engine=args.engine,
+            ).validate()
+        shard = _parse_shard(args.shard)
+    except SpecError as exc:
+        print(f"bad spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run = _stream_experiment(spec, shard, args)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(_sweep_summary(run, shard, "simulate-many").render(), file=sys.stderr)
     return 0
 
 
@@ -431,7 +604,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--count", type=int, default=None,
                      help="emit COUNT instances as JSON Lines (seeds seed..seed+COUNT-1), "
                      "streaming one line at a time")
-    gen.add_argument("--gen-engine", choices=["vectorized", "loop"], default=None,
+    gen.add_argument("--gen-engine", choices=ENGINE_SETTINGS["generation"].choices,
+                     default=None,
                      help="draw engine for the random families (default: loop for "
                      "seed-compatible output; vectorized draws whole instances "
                      "with batched numpy calls; $REPRO_GEN_ENGINE overrides)")
@@ -477,9 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="sweep interest density (streams per user fraction)")
     many.add_argument("--seed", type=int, default=0)
     many.add_argument("--method", choices=["greedy", "enumeration"], default="greedy")
-    many.add_argument("--engine", choices=["indexed", "dict"], default=None,
+    many.add_argument("--engine", choices=ENGINE_SETTINGS["solver"].choices,
+                      default=None,
                       help="hot-path implementation (default: indexed)")
-    many.add_argument("--gen-engine", choices=["vectorized", "loop"], default=None,
+    many.add_argument("--gen-engine", choices=ENGINE_SETTINGS["generation"].choices,
+                      default=None,
                       help="sweep generation engine (default: vectorized — instances "
                       "stream as index-native arrays; loop reproduces the "
                       "seed-compatible dict generators)")
@@ -499,7 +675,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--popularity", type=float, default=1.0,
                      help="Zipf exponent of stream popularity (0 = uniform)")
     sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--engine", choices=["indexed", "dict"], default=None,
+    sim.add_argument("--engine", choices=ENGINE_SETTINGS["simulation"].choices,
+                     default=None,
                      help="simulation engine (default: indexed — array-native "
                      "trace draw and replay; dict keeps the original event "
                      "loop; $REPRO_SIM_ENGINE overrides)")
@@ -507,6 +684,71 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes, one policy replay each "
                      "(1 = in-process)")
     sim.set_defaults(func=cmd_simulate)
+
+    def add_runner_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--shard", default=None, metavar="I/N",
+                                help="run only units with index %% N == I "
+                                "(N machines split one spec; seeds/results "
+                                "identical to the unsharded run)")
+        sub_parser.add_argument("--workers", "-j", type=int, default=1,
+                                help="worker processes (1 = in-process)")
+        sub_parser.add_argument("--checkpoint", default=None,
+                                help="JSONL checkpoint: one row appended per "
+                                "completed unit")
+        sub_parser.add_argument("--resume", action="store_true",
+                                help="skip units already in --checkpoint")
+        sub_parser.add_argument("--output", "-o", default="-",
+                                help="aggregate JSONL path (- for stdout; "
+                                "deterministic: runtimes stripped)")
+        sub_parser.add_argument("--npz", default=None,
+                                help="also write columnar .npz (objective, "
+                                "runtime, Jain fairness per unit)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario spec through the sharded resumable runner",
+    )
+    sweep.add_argument("spec", nargs="?", default=None,
+                       help="spec file (.json/.toml) or shipped name "
+                       "(see --list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list the shipped scenario specs and exit")
+    sweep.add_argument("--merge", nargs="+", default=None, metavar="CKPT",
+                       help="aggregate shard checkpoint files instead of "
+                       "running (errors if the union misses units)")
+    add_runner_flags(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    sim_many = sub.add_parser(
+        "simulate-many",
+        help="run a workload × size × seed × policy grid through the runner",
+    )
+    sim_many.add_argument("spec", nargs="?", default=None,
+                          help="simulate-kind spec file or shipped name "
+                          "(omit to build a grid from the flags below)")
+    sim_many.add_argument("--workload", choices=sorted(WORKLOADS), default="iptv")
+    sim_many.add_argument("--streams", default=None,
+                          help="comma list of catalog sizes (default: the "
+                          "workload's own)")
+    sim_many.add_argument("--users", default=None,
+                          help="comma list of population sizes")
+    sim_many.add_argument("--replicates", type=int, default=1,
+                          help="seed replicates per grid cell")
+    sim_many.add_argument("--seed", type=int, default=0,
+                          help="base seed (per-cell seeds are derived from "
+                          "(seed, cell index))")
+    sim_many.add_argument("--policies", nargs="+",
+                          default=["threshold", "allocate", "density"])
+    sim_many.add_argument("--rate", type=float, default=2.0)
+    sim_many.add_argument("--duration", type=float, default=30.0)
+    sim_many.add_argument("--horizon", type=float, default=300.0)
+    sim_many.add_argument("--popularity", type=float, default=1.0)
+    sim_many.add_argument("--engine",
+                          choices=ENGINE_SETTINGS["simulation"].choices,
+                          default=None,
+                          help="simulation engine ($REPRO_SIM_ENGINE overrides)")
+    add_runner_flags(sim_many)
+    sim_many.set_defaults(func=cmd_simulate_many)
     return parser
 
 

@@ -1,0 +1,110 @@
+"""Runtime configuration: one resolver for every engine switch.
+
+The repo grew three pluggable-engine seams, each with its own
+environment override:
+
+==========  =======================  ====================  ==========
+kind        selects                  env override          default
+==========  =======================  ====================  ==========
+solver      solver hot paths         ``$REPRO_ENGINE``     indexed
+generation  instance draw path       ``$REPRO_GEN_ENGINE`` vectorized
+simulation  trace draw and replay    ``$REPRO_SIM_ENGINE`` indexed
+==========  =======================  ====================  ==========
+
+Before this module each seam duplicated the same resolution logic
+(explicit argument > environment variable > default) in its own file.
+:func:`resolve_engine_setting` is now the single implementation; the
+historical front doors (:func:`repro.core.indexed.resolve_engine`,
+:func:`repro.instances.vectorized.resolve_gen_engine`,
+:func:`repro.sim.indexed.resolve_sim_engine`) delegate here, and the
+old environment variable names are honored unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class EngineSetting:
+    """One pluggable-engine seam: its env override, default and choices.
+
+    Attributes
+    ----------
+    kind:
+        The registry key (``"solver"``, ``"generation"``,
+        ``"simulation"``).
+    label:
+        Human-readable name used in error messages (kept identical to
+        the pre-consolidation resolvers so existing matches hold).
+    env:
+        Environment variable consulted when no explicit value is given.
+    default:
+        Engine used when neither an argument nor the env var is set.
+    choices:
+        Valid engine names for this seam.
+    """
+
+    kind: str
+    label: str
+    env: str
+    default: str
+    choices: "tuple[str, ...]"
+
+
+#: Every pluggable-engine seam in the repo, by kind.
+ENGINE_SETTINGS: "dict[str, EngineSetting]" = {
+    "solver": EngineSetting(
+        kind="solver",
+        label="engine",
+        env="REPRO_ENGINE",
+        default="indexed",
+        choices=("indexed", "dict"),
+    ),
+    "generation": EngineSetting(
+        kind="generation",
+        label="generation engine",
+        env="REPRO_GEN_ENGINE",
+        default="vectorized",
+        choices=("vectorized", "loop"),
+    ),
+    "simulation": EngineSetting(
+        kind="simulation",
+        label="simulation engine",
+        env="REPRO_SIM_ENGINE",
+        default="indexed",
+        choices=("indexed", "dict"),
+    ),
+}
+
+
+def resolve_engine_setting(
+    kind: str, value: "str | None" = None, default: "str | None" = None
+) -> str:
+    """Resolve an engine choice with the shared precedence.
+
+    Precedence: explicit ``value`` argument > the seam's environment
+    variable > ``default`` (the per-call default override some seams
+    use, e.g. the dict-returning ``random_*`` families defaulting to the
+    seed-compatible loop engine) > the seam's registered default.
+
+    Raises :class:`~repro.exceptions.ValidationError` for unknown kinds
+    and for engine names outside the seam's choices (including invalid
+    values smuggled in through the environment variable).
+    """
+    setting = ENGINE_SETTINGS.get(kind)
+    if setting is None:
+        raise ValidationError(
+            f"unknown engine kind {kind!r}; pick one of {tuple(ENGINE_SETTINGS)}"
+        )
+    chosen = value
+    if chosen is None:
+        chosen = os.environ.get(setting.env, default or setting.default)
+    if chosen not in setting.choices:
+        raise ValidationError(
+            f"unknown {setting.label} {chosen!r}; pick one of {setting.choices}"
+        )
+    return chosen

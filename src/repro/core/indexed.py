@@ -34,11 +34,11 @@ the O(nnz) build once.
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import ENGINE_SETTINGS, resolve_engine_setting
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance, Stream, User
 from repro.exceptions import ValidationError
 
@@ -46,17 +46,18 @@ from repro.exceptions import ValidationError
 _CACHE_ATTR = "_indexed_cache"
 
 #: Environment variable selecting the default engine for the hot paths.
-ENGINE_ENV = "REPRO_ENGINE"
+ENGINE_ENV = ENGINE_SETTINGS["solver"].env
 
-_ENGINES = ("indexed", "dict")
+_ENGINES = ENGINE_SETTINGS["solver"].choices
 
 
 def resolve_engine(engine: "str | None" = None) -> str:
-    """Resolve an engine name: explicit argument > $REPRO_ENGINE > indexed."""
-    chosen = engine if engine is not None else os.environ.get(ENGINE_ENV, "indexed")
-    if chosen not in _ENGINES:
-        raise ValidationError(f"unknown engine {chosen!r}; pick one of {_ENGINES}")
-    return chosen
+    """Resolve an engine name: explicit argument > $REPRO_ENGINE > indexed.
+
+    Delegates to the shared :mod:`repro.config` resolver (kind
+    ``"solver"``); kept as the historical front door.
+    """
+    return resolve_engine_setting("solver", engine)
 
 
 @dataclass

@@ -426,31 +426,20 @@ def iter_solve_many(
     Instances are pulled from the iterable lazily and results are
     yielded as soon as they (and all their predecessors) complete, so a
     sweep generator piped through this never holds more than
-    ``O(parallel)`` instances/results alive at once.  Items may be
-    :class:`MMDInstance` or array-native :class:`IndexedInstance`
-    objects (the default output of
+    ``O(parallel)`` instances/results alive at once (the shared
+    work-unit pipeline, :func:`repro.experiments.pipeline.map_ordered`).
+    Items may be :class:`MMDInstance` or array-native
+    :class:`IndexedInstance` objects (the default output of
     :func:`repro.instances.generators.sweep_instances`); in parallel
     mode the lazy lift then happens inside the workers, so the dict
     model is built N-wide while the producer keeps generating arrays.
     """
     if parallel < 1:
         raise ValidationError(f"parallel must be >= 1, got {parallel}")
-    if parallel == 1:
-        for inst in instances:
-            yield solve_mmd(inst, method=method, try_allocate=try_allocate, engine=engine)
-        return
-    import collections
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.experiments.pipeline import map_ordered
 
-    pending: "collections.deque" = collections.deque()
-    with ProcessPoolExecutor(max_workers=parallel) as pool:
-        for inst in instances:
-            pending.append(pool.submit(_solve_one, (inst, method, try_allocate, engine)))
-            # Keep at most 2 batches in flight so huge generators stream.
-            while len(pending) >= 2 * parallel:
-                yield pending.popleft().result()
-        while pending:
-            yield pending.popleft().result()
+    items = ((inst, method, try_allocate, engine) for inst in instances)
+    yield from map_ordered(_solve_one, items, workers=parallel)
 
 
 def solve_many(

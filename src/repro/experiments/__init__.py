@@ -1,0 +1,63 @@
+"""Unified experiment orchestration: specs → shards → checkpoints → results.
+
+The paper's evaluation is a grid — instance family × size × skew ×
+policy × seed.  This package runs any such grid through **one**
+pipeline:
+
+- :mod:`repro.experiments.spec` — :class:`ScenarioSpec`, a declarative
+  grid description (JSON/TOML-loadable; the shipped E3/E11/E12/E13
+  scenarios live under ``repro/experiments/specs/``) that expands
+  lazily into numbered :class:`WorkUnit` streams with index-derived
+  per-unit seeds;
+- :mod:`repro.experiments.runner` — :func:`run_experiment`: sharded
+  (``shard=(i, n)``), pooled (``workers=N``), resumable (per-unit JSONL
+  checkpoints) execution with columnar aggregation
+  (:class:`ExperimentRun`);
+- :mod:`repro.experiments.pipeline` — :func:`map_ordered`, the
+  ordered bounded-in-flight mapper that `solve_many`,
+  `compare_policies` and the runner all share.
+
+CLI: ``repro sweep <spec> [--shard i/n --workers N --resume]`` and
+``repro simulate-many``.
+
+>>> from repro.experiments import ScenarioSpec, run_experiment
+>>> spec = ScenarioSpec(kind="solve", family="sweep", name="tiny",
+...                     streams=(6,), users=(4,), skews=(1.0, 4.0))
+>>> run = run_experiment(spec)
+>>> [row["id"] for row in run.rows]
+['s6-u4-a1-r0', 's6-u4-a4-r0']
+"""
+
+from repro.experiments.pipeline import map_ordered
+from repro.experiments.runner import (
+    ExperimentRun,
+    iter_experiment,
+    merge_checkpoints,
+    read_checkpoint,
+    run_experiment,
+)
+from repro.experiments.spec import (
+    ScenarioSpec,
+    SpecError,
+    WorkUnit,
+    builtin_specs,
+    load_spec,
+    resolve_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "SpecError",
+    "WorkUnit",
+    "builtin_specs",
+    "load_spec",
+    "resolve_spec",
+    "spec_from_dict",
+    "map_ordered",
+    "ExperimentRun",
+    "iter_experiment",
+    "merge_checkpoints",
+    "read_checkpoint",
+    "run_experiment",
+]

@@ -1,0 +1,68 @@
+"""The shared work-unit pipeline: ordered, bounded, optionally pooled.
+
+Every batch path in the repo — :func:`repro.core.solver.iter_solve_many`,
+:func:`repro.sim.simulation.compare_policies`, and the experiment runner
+of :mod:`repro.experiments.runner` — funnels through
+:func:`map_ordered`: pull items from a (possibly huge, lazily produced)
+iterable, apply a picklable function, and yield results **in input
+order** while keeping at most ``O(workers)`` items in flight.
+
+This module is deliberately a leaf: it imports nothing from the rest of
+the package, so solver and simulation code can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Iterable, Iterator, TypeVar
+
+from repro.exceptions import ValidationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Keep at most ``IN_FLIGHT_FACTOR × workers`` submissions pending, so a
+#: streaming producer is consumed lazily instead of being drained into
+#: the pool's queue all at once.
+IN_FLIGHT_FACTOR = 2
+
+
+def map_ordered(
+    fn: "Callable[[T], R]",
+    items: "Iterable[T]",
+    *,
+    workers: int = 1,
+) -> "Iterator[R]":
+    """Apply ``fn`` to every item, yielding results in input order.
+
+    Parameters
+    ----------
+    fn:
+        The executor.  With ``workers > 1`` it must be a **top-level
+        picklable** function and the items must pickle too (they cross
+        the process boundary).
+    items:
+        Any iterable; consumed lazily, so generators stream.
+    workers:
+        ``1`` (default) maps in-process.  ``N > 1`` fans items out over
+        a :class:`~concurrent.futures.ProcessPoolExecutor`, with at most
+        ``IN_FLIGHT_FACTOR × N`` submissions pending at once — a result
+        is yielded as soon as it *and all its predecessors* complete, so
+        neither the inputs nor the outputs of a huge stream accumulate.
+    """
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        for item in items:
+            yield fn(item)
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    pending: "collections.deque" = collections.deque()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for item in items:
+            pending.append(pool.submit(fn, item))
+            while len(pending) >= IN_FLIGHT_FACTOR * workers:
+                yield pending.popleft().result()
+        while pending:
+            yield pending.popleft().result()

@@ -365,6 +365,58 @@ def small_streams_mmd(
     return MMDInstance(base.streams, users, tuple(budgets), name="small-streams-mmd")
 
 
+def sweep_cell(
+    num_streams: int,
+    num_users: int,
+    skew: float,
+    seed: int,
+    density: float = 0.05,
+    budget_fraction: float = 0.3,
+    engine: "str | None" = None,
+) -> "MMDInstance | IndexedInstance":
+    """Build one grid cell of a sweep: the §2 unit-skew family for
+    ``skew <= 1``, the bounded-skew family otherwise.
+
+    The shared producer of :func:`sweep_instances` and the experiment
+    runner (:mod:`repro.experiments.runner`, family ``"sweep"``) — both
+    paths materialize cells through this function, so a spec-driven
+    ``repro sweep`` and a hand-rolled `sweep_instances` loop produce the
+    same instances given the same per-cell seeds.  The vectorized
+    engine (the sweep default) returns an array-native
+    :class:`~repro.core.indexed.IndexedInstance`; ``engine="loop"``
+    returns a dict-model :class:`MMDInstance`.
+    """
+    from repro.instances.vectorized import (
+        generate_smd,
+        generate_unit_skew_smd,
+        resolve_gen_engine,
+    )
+
+    if resolve_gen_engine(engine, default="vectorized") == "vectorized":
+        if skew <= 1.0:
+            inst: "MMDInstance | IndexedInstance" = generate_unit_skew_smd(
+                num_streams, num_users, seed=seed, density=density,
+                budget_fraction=budget_fraction, engine="vectorized",
+            )
+        else:
+            inst = generate_smd(
+                num_streams, num_users, skew, seed=seed, density=density,
+                budget_fraction=budget_fraction, engine="vectorized",
+            )
+    elif skew <= 1.0:
+        inst = random_unit_skew_smd(
+            num_streams, num_users, seed=seed, density=density,
+            budget_fraction=budget_fraction, engine="loop",
+        )
+    else:
+        inst = random_smd(
+            num_streams, num_users, skew, seed=seed, density=density,
+            budget_fraction=budget_fraction, engine="loop",
+        )
+    inst.name = f"sweep[s={num_streams},u={num_users},a={skew:g},seed={seed}]"
+    return inst
+
+
 def sweep_instances(
     stream_counts: Sequence[int],
     user_counts: Sequence[int],
@@ -382,9 +434,13 @@ def sweep_instances(
     line (``repro solve-many --sweep-...`` / ``repro generate --count``)
     without materializing the whole grid.
 
-    Instances are deterministic given ``seed``: grid cell ``t`` uses
-    ``seed + t``.  ``skew == 1`` cells use the §2 unit-skew family,
-    other cells the bounded-skew family.
+    Instances are deterministic given ``seed``: grid cell ``t`` draws
+    with :func:`repro.util.rng.derive_seed` ``(seed, t)`` — the per-cell
+    seed depends only on the cell's position in the full grid, never on
+    how many cells ran before it, so shard ``(i, n)`` of a sweep (every
+    ``n``-th cell) reproduces exactly the unsharded run's instances.
+    ``skew == 1`` cells use the §2 unit-skew family, other cells the
+    bounded-skew family.
 
     With ``engine="vectorized"`` (the default here — sweeps are exactly
     the workload the batched path exists for) the yielded items are
@@ -392,44 +448,22 @@ def sweep_instances(
     objects; every solver entry point (:func:`~repro.core.solver.solve_mmd`,
     :func:`~repro.core.solver.solve_many`, the CLI) accepts them
     directly and lifts the dict model only if something needs it.
-    ``engine="loop"`` yields seed-compatible :class:`MMDInstance`
-    objects exactly as before.
+    ``engine="loop"`` yields :class:`MMDInstance` objects drawn by the
+    seed-compatible loop families.
     """
-    from repro.instances.vectorized import resolve_gen_engine, sweep_indexed_instances
+    from repro.util.rng import derive_seed
 
-    if resolve_gen_engine(engine, default="vectorized") == "vectorized":
-        yield from sweep_indexed_instances(
-            stream_counts,
-            user_counts,
-            skews,
-            seed=seed,
-            density=density,
-            budget_fraction=budget_fraction,
-        )
-        return
     grid = itertools.product(stream_counts, user_counts, skews)
     for t, (num_streams, num_users, skew) in enumerate(grid):
-        if skew <= 1.0:
-            inst = random_unit_skew_smd(
-                num_streams,
-                num_users,
-                seed=seed + t,
-                density=density,
-                budget_fraction=budget_fraction,
-                engine="loop",
-            )
-        else:
-            inst = random_smd(
-                num_streams,
-                num_users,
-                skew,
-                seed=seed + t,
-                density=density,
-                budget_fraction=budget_fraction,
-                engine="loop",
-            )
-        inst.name = f"sweep[s={num_streams},u={num_users},a={skew:g},seed={seed + t}]"
-        yield inst
+        yield sweep_cell(
+            num_streams,
+            num_users,
+            skew,
+            seed=derive_seed(seed, t),
+            density=density,
+            budget_fraction=budget_fraction,
+            engine=engine,
+        )
 
 
 def tightness_instance(m: int, mc: int) -> MMDInstance:

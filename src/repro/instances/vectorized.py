@@ -51,12 +51,12 @@ tests in ``tests/test_generators.py`` / ``tests/test_vectorized.py``):
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import replace
 from typing import Iterator
 
 import numpy as np
 
+from repro.config import ENGINE_SETTINGS, resolve_engine_setting
 from repro.core.indexed import (
     IndexedInstance,
     build_indexed,
@@ -67,9 +67,9 @@ from repro.exceptions import ValidationError
 from repro.util.rng import ensure_rng
 
 #: Environment variable selecting the default generation engine.
-GEN_ENGINE_ENV = "REPRO_GEN_ENGINE"
+GEN_ENGINE_ENV = ENGINE_SETTINGS["generation"].env
 
-_GEN_ENGINES = ("vectorized", "loop")
+_GEN_ENGINES = ENGINE_SETTINGS["generation"].choices
 
 #: Sparsity-mask draws are chunked into row blocks of at most this many
 #: (user, stream) cells, bounding transient memory at ~32 MiB per block
@@ -79,13 +79,13 @@ CHUNK_CELLS = 1 << 22
 
 
 def resolve_gen_engine(engine: "str | None" = None, default: str = "vectorized") -> str:
-    """Resolve a generation engine: explicit argument > $REPRO_GEN_ENGINE > default."""
-    chosen = engine if engine is not None else os.environ.get(GEN_ENGINE_ENV, default)
-    if chosen not in _GEN_ENGINES:
-        raise ValidationError(
-            f"unknown generation engine {chosen!r}; pick one of {_GEN_ENGINES}"
-        )
-    return chosen
+    """Resolve a generation engine: explicit argument > $REPRO_GEN_ENGINE > default.
+
+    Delegates to the shared :mod:`repro.config` resolver (kind
+    ``"generation"``); ``default`` lets the dict-returning ``random_*``
+    families keep their seed-compatible loop default.
+    """
+    return resolve_engine_setting("generation", engine, default=default)
 
 
 def _ids(prefix: str, count: int) -> "list[str]":
@@ -451,35 +451,27 @@ def sweep_indexed_instances(
 ) -> "Iterator[IndexedInstance]":
     """Stream a catalog × population × skew grid as array-native instances.
 
-    The vectorized counterpart of
-    :func:`repro.instances.generators.sweep_instances` (which defaults to
-    delegating here): grid cell ``t`` uses ``seed + t``; ``skew <= 1``
-    cells draw the §2 unit-skew family, other cells the bounded-skew
-    family.  Constant memory — each instance is built only when the
-    consumer asks for it.
+    The always-vectorized form of
+    :func:`repro.instances.generators.sweep_instances`: grid cell ``t``
+    draws with :func:`repro.util.rng.derive_seed` ``(seed, t)`` (seeds
+    depend only on grid position, so sharded runs match unsharded
+    ones); ``skew <= 1`` cells draw the §2 unit-skew family, other
+    cells the bounded-skew family.  Constant memory — each instance is
+    built only when the consumer asks for it.
     """
     import itertools
 
+    from repro.instances.generators import sweep_cell
+    from repro.util.rng import derive_seed
+
     grid = itertools.product(stream_counts, user_counts, skews)
     for t, (num_streams, num_users, skew) in enumerate(grid):
-        if skew <= 1.0:
-            idx = generate_unit_skew_smd(
-                num_streams,
-                num_users,
-                seed=seed + t,
-                density=density,
-                budget_fraction=budget_fraction,
-                engine="vectorized",
-            )
-        else:
-            idx = generate_smd(
-                num_streams,
-                num_users,
-                skew,
-                seed=seed + t,
-                density=density,
-                budget_fraction=budget_fraction,
-                engine="vectorized",
-            )
-        idx.name = f"sweep[s={num_streams},u={num_users},a={skew:g},seed={seed + t}]"
-        yield idx
+        yield sweep_cell(
+            num_streams,
+            num_users,
+            skew,
+            seed=derive_seed(seed, t),
+            density=density,
+            budget_fraction=budget_fraction,
+            engine="vectorized",
+        )

@@ -32,11 +32,11 @@ The engine is selected per call (``engine="dict"``) or globally via
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config import ENGINE_SETTINGS, resolve_engine_setting
 from repro.core.indexed import IndexedInstance, ensure_indexed
 from repro.exceptions import SimulationError, ValidationError
 from repro.sim.engine import merged_replay_order
@@ -45,19 +45,18 @@ from repro.sim.policies import AdmissionPolicy, ResourceView
 from repro.util.rng import ensure_rng
 
 #: Environment variable selecting the default simulation engine.
-SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+SIM_ENGINE_ENV = ENGINE_SETTINGS["simulation"].env
 
-_SIM_ENGINES = ("indexed", "dict")
+_SIM_ENGINES = ENGINE_SETTINGS["simulation"].choices
 
 
 def resolve_sim_engine(engine: "str | None" = None) -> str:
-    """Resolve a sim engine name: argument > ``$REPRO_SIM_ENGINE`` > indexed."""
-    chosen = engine if engine is not None else os.environ.get(SIM_ENGINE_ENV, "indexed")
-    if chosen not in _SIM_ENGINES:
-        raise ValidationError(
-            f"unknown simulation engine {chosen!r}; pick one of {_SIM_ENGINES}"
-        )
-    return chosen
+    """Resolve a sim engine name: argument > ``$REPRO_SIM_ENGINE`` > indexed.
+
+    Delegates to the shared :mod:`repro.config` resolver (kind
+    ``"simulation"``); kept as the historical front door.
+    """
+    return resolve_engine_setting("simulation", engine)
 
 
 @dataclass

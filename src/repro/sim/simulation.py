@@ -356,7 +356,9 @@ def compare_policies(
         ``$REPRO_SIM_ENGINE`` overrides).
     parallel:
         Number of worker processes.  ``1`` (default) replays in-process;
-        ``N > 1`` fans the policies out over a process pool (each worker
+        ``N > 1`` fans the policies out over a process pool via the
+        shared work-unit pipeline
+        (:func:`repro.experiments.pipeline.map_ordered`; each worker
         replays the identical trace, so reports are unchanged).
     trace:
         Replay this pre-drawn trace instead of drawing one.
@@ -371,16 +373,7 @@ def compare_policies(
             trace = draw_trace(
                 instance, model or ArrivalModel(), horizon, seed, engine="dict"
             )
-    if parallel == 1:
-        return [
-            simulate_trace(instance, policy, trace, horizon, engine=engine)
-            for policy in policies
-        ]
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.experiments.pipeline import map_ordered
 
-    with ProcessPoolExecutor(max_workers=parallel) as pool:
-        futures = [
-            pool.submit(_simulate_one, (instance, policy, trace, horizon, engine))
-            for policy in policies
-        ]
-        return [future.result() for future in futures]
+    items = ((instance, policy, trace, horizon, engine) for policy in policies)
+    return list(map_ordered(_simulate_one, items, workers=parallel))

@@ -28,6 +28,33 @@ def ensure_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Gen
     return np.random.default_rng(seed)
 
 
+def derive_seed(base_seed: int, unit_index: int) -> int:
+    """Deterministic per-unit seed for work unit ``unit_index`` of a grid.
+
+    Mixes ``(base_seed, unit_index)`` through
+    :class:`numpy.random.SeedSequence`, so the seed of a unit depends
+    only on the base seed and the unit's position in the *full* grid —
+    never on how many units ran before it.  Shard ``(i, n)`` of a sweep
+    therefore draws exactly the per-unit seeds the unsharded run draws,
+    which is what makes shard unions bit-identical to single-machine
+    runs (see :mod:`repro.experiments`).
+
+    Seeds are 64-bit: at the 32 bits ``generate_state`` defaults to,
+    birthday collisions appear around 10⁴–10⁵ units (two cells silently
+    drawing identical instances); at 64 bits a billion-unit grid stays
+    collision-free in expectation.
+
+    >>> derive_seed(0, 0) == derive_seed(0, 0)
+    True
+    >>> derive_seed(0, 1) != derive_seed(0, 2)
+    True
+    """
+    if unit_index < 0:
+        raise ValueError(f"unit_index must be nonnegative, got {unit_index}")
+    entropy = (int(base_seed) % (1 << 64), int(unit_index))
+    return int(np.random.SeedSequence(entropy).generate_state(1, dtype=np.uint64)[0])
+
+
 def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent generators from a single seed.
 

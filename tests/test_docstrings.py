@@ -3,8 +3,9 @@
 CI additionally runs ``ruff check --select D1`` over these files; this
 AST-based check enforces the same "no missing docstrings" rule without
 needing ruff installed, so the tier-1 suite catches regressions too.
-Scope (per the PR-2 docs pass): ``repro.core.indexed`` and every module
-of ``repro.instances``.
+Scope (per the PR-2 docs pass, extended by the PR-4 orchestration
+layer): ``repro.core.indexed``, every module of ``repro.instances``,
+``repro.config`` and every module of ``repro.experiments``.
 """
 
 from __future__ import annotations
@@ -17,7 +18,12 @@ import pytest
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 CHECKED_FILES = sorted(
-    [SRC / "core" / "indexed.py", *(SRC / "instances").glob("*.py")]
+    [
+        SRC / "core" / "indexed.py",
+        SRC / "config.py",
+        *(SRC / "instances").glob("*.py"),
+        *(SRC / "experiments").glob("*.py"),
+    ]
 )
 
 
