@@ -391,8 +391,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     run = run_experiment(spec, workers=args.parallel)
+    # "violations" counts infeasible policy answers the simulator clipped
+    # (SimulationReport.policy_violations): 0 for a well-behaved policy.
     table = Table(
-        ["policy", "utility·time", "accept", "peak load", "fairness"],
+        ["policy", "utility·time", "accept", "peak load", "violations", "fairness"],
         title=f"{args.workload} | rate={args.rate} duration={args.duration} "
         f"horizon={args.horizon}",
     )
@@ -403,6 +405,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 row["utility_time"],
                 row["acceptance"],
                 row["peak_utilization"],
+                row["violations"],
                 row["jain"],
             ]
         )
@@ -678,8 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--engine", choices=ENGINE_SETTINGS["simulation"].choices,
                      default=None,
                      help="simulation engine (default: indexed — array-native "
-                     "trace draw and replay; dict keeps the original event "
-                     "loop; $REPRO_SIM_ENGINE overrides)")
+                     "trace draw and replay; chunked skips no-decision event "
+                     "runs for very long traces; dict keeps the original "
+                     "event loop; $REPRO_SIM_ENGINE overrides)")
     sim.add_argument("--parallel", "-j", type=int, default=1,
                      help="worker processes, one policy replay each "
                      "(1 = in-process)")

@@ -11,6 +11,12 @@ generation  instance draw path       ``$REPRO_GEN_ENGINE`` vectorized
 simulation  trace draw and replay    ``$REPRO_SIM_ENGINE`` indexed
 ==========  =======================  ====================  ==========
 
+The simulation seam has three engines: ``dict`` (the original
+string-keyed event loop), ``indexed`` (array-native per-event replay,
+the default) and ``chunked`` (:mod:`repro.sim.kernel`, which skips
+no-decision event runs wholesale for 10⁶-event traces); all three
+produce float-identical reports on a common trace.
+
 Before this module each seam duplicated the same resolution logic
 (explicit argument > environment variable > default) in its own file.
 :func:`resolve_engine_setting` is now the single implementation; the
@@ -76,7 +82,7 @@ ENGINE_SETTINGS: "dict[str, EngineSetting]" = {
         label="simulation engine",
         env="REPRO_SIM_ENGINE",
         default="indexed",
-        choices=("indexed", "dict"),
+        choices=("indexed", "dict", "chunked"),
     ),
 }
 

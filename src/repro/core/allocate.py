@@ -31,7 +31,16 @@ finite duration):
   is safe on instances that violate the small-streams precondition (the
   guard provably never fires when the precondition holds);
 - :meth:`OnlineAllocator.release` returns a departed stream's load, for
-  finite-duration sessions.
+  finite-duration sessions;
+- the exponential charges are maintained *incrementally*: ``µ^{L(i)}``
+  is cached per budget and refreshed (exactly) for just the budgets a
+  commit or release touches, so an offer never recomputes ``mu **
+  load`` over the whole interested row — with
+  :meth:`OnlineAllocator.resync_charges` as the periodic float-drift
+  guard (a bit-wise no-op for the exact writes, asserted in tests) —
+  and rejections are tracked as :attr:`OnlineAllocator.rejected_count`
+  plus a deduplicated id list, so million-event simulations neither
+  re-exponentiate nor leak memory.
 """
 
 from __future__ import annotations
@@ -45,6 +54,13 @@ from repro.core.assignment import Assignment
 from repro.core.indexed import index_instance, small_streams_indexed
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.exceptions import ValidationError
+
+#: Commits/releases between defensive full recomputes of the cached
+#: exponential charges (the float-drift guard).  The per-entry cache
+#: writes are themselves exact recomputes of ``µ^L``, so the periodic
+#: resync is a bit-wise no-op by construction — it exists to pin that
+#: invariant at runtime, cheaply, for the 10⁶-event simulations.
+CHARGE_RESYNC_INTERVAL = 4096
 
 
 def global_skew_parameters(instance: MMDInstance) -> "tuple[float, float, int]":
@@ -141,10 +157,28 @@ class OnlineAllocator:
         # Normalized loads L(i) ∈ [0, 1] per budget (scale-invariant).
         self._server_load_arr = np.zeros(idx.m)
         self._user_load_arr = np.zeros((num_users, mc))
+        # Incremental exponential charges: the caches hold µ^{L(i)} per
+        # budget (µ^0 = 1 at rest) and are updated on commit/release for
+        # the budgets whose load changed, so an offer reads one gather
+        # instead of recomputing ``mu ** load`` over every interested
+        # row.  Each cache write is the *exact* ``µ^L`` of the new load
+        # (one pow per changed budget — the same cost a multiplicative
+        # update would pay — with zero float drift, keeping decisions
+        # bit-identical to the uncached path).
+        self._exp_server = np.ones(idx.m)
+        self._exp_user = np.ones((num_users, mc))
+        self._ops_since_resync = 0
         self.assignment = Assignment(instance)
         self._offered: set[str] = set()
         self._active_pairs: "dict[int, np.ndarray]" = {}
+        #: Deduplicated rejected stream ids, in first-rejection order
+        #: (bounded by the catalog size; re-offered rejections bump
+        #: :attr:`rejected_count` without growing this list, so
+        #: million-event simulation runs do not leak memory).
         self.rejected: "list[str]" = []
+        #: Total rejections, re-offers included.
+        self.rejected_count = 0
+        self._rejected_seen: set[str] = set()
 
     # ------------------------------------------------------------------
     # Exponential costs
@@ -153,7 +187,7 @@ class OnlineAllocator:
     def _exp_cost_server(self, i: int) -> float:
         """``C(i) = B'_i (µ^{L(i)} - 1)`` for a server budget (normalized scale)."""
         scaled_budget = self._server_scale[i] * self.instance.budgets[i]
-        return scaled_budget * (self.mu ** float(self._server_load_arr[i]) - 1.0)
+        return scaled_budget * (float(self._exp_server[i]) - 1.0)
 
     def _server_charge(self, stream_id: str) -> float:
         """``Σ_{i∈M} (c_i(S)/B_i)·C(i)`` — the server part of the Line 4 test."""
@@ -190,7 +224,13 @@ class OnlineAllocator:
         """``Σ_j (k^u_j(S)/K^u_j)·C(u,j)`` for every interested user at once.
 
         Measures accumulate in ascending ``j`` — the same per-user order
-        (and hence the same floats) as charging one user at a time.
+        (and hence the same floats) as charging one user at a time.  The
+        exponentials come from the :attr:`_exp_user` cache (maintained
+        exactly on commit/release), so an offer costs gathers and
+        arithmetic over the interested row but **no** ``mu ** load``
+        recompute — the floats are identical because each cache entry is
+        the same ``self.mu ** self._user_load_arr[u, j]`` expression
+        this method used to evaluate inline.
         """
         idx = self._idx
         charge = np.zeros(row_users.size)
@@ -201,13 +241,52 @@ class OnlineAllocator:
             if mask.any():
                 users = row_users[mask]
                 scaled_cap = self._user_scale_arr[users, j] * cap[mask]
-                exp_cost = scaled_cap * (self.mu ** self._user_load_arr[users, j] - 1.0)
+                exp_cost = scaled_cap * (self._exp_user[users, j] - 1.0)
                 charge[mask] += (load[mask] / cap[mask]) * exp_cost
         return charge
+
+    def _recharge(self, selected_users: np.ndarray, j: int) -> None:
+        """Refresh the cached ``µ^L`` of the given (user, ``j``) budgets.
+
+        Called after a commit or release changed those loads; the write
+        is the exact power of the new load, so the cache never drifts.
+        """
+        self._exp_user[selected_users, j] = (
+            self.mu ** self._user_load_arr[selected_users, j]
+        )
+
+    def _charges_mutated(self) -> None:
+        """Count a commit/release toward the periodic drift-guard resync."""
+        self._ops_since_resync += 1
+        if self._ops_since_resync >= CHARGE_RESYNC_INTERVAL:
+            self.resync_charges()
+
+    def resync_charges(self) -> None:
+        """Float-drift guard: recompute every cached ``µ^L`` from the loads.
+
+        Because the incremental writes are already exact per-entry
+        recomputes, this is a bit-wise no-op (asserted in
+        ``tests/test_allocate.py``); it runs every
+        :data:`CHARGE_RESYNC_INTERVAL` commits/releases as a cheap
+        runtime pin of that invariant, and gives any subclass that
+        swaps in genuinely multiplicative updates a bounded-drift story.
+        """
+        for i in range(self._idx.m):
+            self._exp_server[i] = self.mu ** float(self._server_load_arr[i])
+        self._exp_user[...] = self.mu ** self._user_load_arr
+        self._ops_since_resync = 0
 
     # ------------------------------------------------------------------
     # Online interface
     # ------------------------------------------------------------------
+
+    def _reject(self, stream_id: str) -> None:
+        """Record a rejection: the count always grows, the id list only
+        on first rejection (so re-offers over a long trace stay O(1))."""
+        self.rejected_count += 1
+        if stream_id not in self._rejected_seen:
+            self._rejected_seen.add(stream_id)
+            self.rejected.append(stream_id)
 
     def offer(self, stream_id: str) -> "list[str]":
         """Offer a stream; returns the users it was assigned to (may be
@@ -230,7 +309,7 @@ class OnlineAllocator:
         empty = np.empty(0, dtype=np.int64)
         lo, hi = int(idx.s_indptr[k]), int(idx.s_indptr[k + 1])
         if lo == hi:
-            self.rejected.append(stream_id)
+            self._reject(stream_id)
             return empty
         row_users = idx.s_user[lo:hi]
         row_pairs = np.arange(lo, hi, dtype=np.int64)
@@ -254,7 +333,7 @@ class OnlineAllocator:
             total_charge -= float(sorted_charges[count])
             total_utility -= float(sorted_w[count])
         if count == 0:
-            self.rejected.append(stream_id)
+            self._reject(stream_id)
             return empty
         selected_users = row_users[order[:count]]
         selected_pairs = row_pairs[order[:count]]
@@ -264,21 +343,26 @@ class OnlineAllocator:
                 k, selected_users, selected_pairs
             )
             if selected_users.size == 0:
-                self.rejected.append(stream_id)
+                self._reject(stream_id)
                 return empty
 
-        # Commit: server loads increase once, user loads per receiver.
+        # Commit: server loads increase once, user loads per receiver;
+        # the charge caches refresh for exactly the budgets that moved.
         self._offered.add(stream_id)
         costs = idx.stream_costs[k]
         for i in self._server_measures:
             if costs[i] > 0:
                 self._server_load_arr[i] += costs[i] / idx.budgets[i]
+                self._exp_server[i] = self.mu ** float(self._server_load_arr[i])
         for j in range(idx.mc):
             cap = idx.capacities[selected_users, j]
             load = idx.s_loads[selected_pairs, j]
             mask = np.isfinite(cap) & (load > 0.0)
             if mask.any():
-                self._user_load_arr[selected_users[mask], j] += load[mask] / cap[mask]
+                touched = selected_users[mask]
+                self._user_load_arr[touched, j] += load[mask] / cap[mask]
+                self._recharge(touched, j)
+        self._charges_mutated()
         self._active_pairs[k] = selected_pairs
         self.assignment.assign_stream(stream_id, idx.user_ids_of(selected_users))
         return selected_users
@@ -334,13 +418,17 @@ class OnlineAllocator:
             for i in self._server_measures:
                 if costs[i] > 0:
                     self._server_load_arr[i] -= costs[i] / idx.budgets[i]
+                    self._exp_server[i] = self.mu ** float(self._server_load_arr[i])
             users = idx.s_user[pairs]
             for j in range(idx.mc):
                 cap = idx.capacities[users, j]
                 load = idx.s_loads[pairs, j]
                 mask = np.isfinite(cap) & (load > 0.0)
                 if mask.any():
-                    self._user_load_arr[users[mask], j] -= load[mask] / cap[mask]
+                    touched = users[mask]
+                    self._user_load_arr[touched, j] -= load[mask] / cap[mask]
+                    self._recharge(touched, j)
+            self._charges_mutated()
             for uid in idx.user_ids_of(users):
                 self.assignment.discard(uid, stream_id)
         self._offered.discard(stream_id)

@@ -79,11 +79,22 @@ def unit_interval_decomposition(
             groups.append([item])
         else:
             # Lies within the unit window (first_integer-1, first_integer].
-            if current and current_window != first_integer:
+            window = first_integer
+            if (
+                current
+                and current_window is not None
+                and end <= current_window + _BOUNDARY_EPS
+            ):
+                # Still fits the open group's window — in particular a
+                # zero-cost item sitting exactly on an integer boundary,
+                # whose `first_integer` points at the *next* window and
+                # used to split the run (exceeding the 2⌈C⌉-1 bound).
+                window = current_window
+            if current and current_window != window:
                 groups.append(current)
                 current = []
             current.append(item)
-            current_window = first_integer
+            current_window = window
         pos = end
     if current:
         groups.append(current)

@@ -18,6 +18,12 @@ and its results:
   runs) and an ``.npz`` of per-unit objective, runtime and Jain
   fairness arrays.
 
+Every checkpoint/aggregate row records the **resolved engine** that
+executed its unit (the solver engine for solve specs, the simulation
+engine — ``dict`` / ``indexed`` / ``chunked`` — for simulate specs), so
+sweeps run on different machines or under different ``$REPRO_*_ENGINE``
+environments are distinguishable after the fact.
+
 Work-unit execution delegates to the same front doors everything else
 uses — :func:`repro.core.solver.solve_mmd` for solve specs,
 :func:`repro.sim.simulation.simulate_trace` for simulation specs (one
@@ -130,6 +136,8 @@ def _execute_solve_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object
     """Generate-and-solve one unit; return its checkpoint row."""
     from repro.core.solver import solve_mmd
 
+    from repro.config import resolve_engine_setting
+
     start = time.perf_counter()
     instance = _build_solve_instance(spec, unit)
     result = solve_mmd(instance, method=spec.method, engine=spec.engine)
@@ -146,6 +154,7 @@ def _execute_solve_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object
         "skew": unit.skew,
         "replicate": unit.replicate,
         "method": result.method,
+        "engine": resolve_engine_setting("solver", spec.engine),
         "utility": result.utility,
         "guarantee": _json_num(result.guarantee),
         "feasible": assignment.is_feasible(),
@@ -225,7 +234,7 @@ def _sim_cell(spec: ScenarioSpec, unit: WorkUnit):
         mean_duration=spec.duration,
         popularity_exponent=spec.popularity,
     )
-    if engine == "indexed":
+    if engine != "dict":  # indexed and chunked share the array draw
         trace = draw_trace_arrays(instance, model, spec.horizon, unit.seed)
     else:
         trace = draw_trace(instance, model, spec.horizon, unit.seed, engine="dict")
@@ -262,6 +271,7 @@ def _execute_sim_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object]"
         "users": instance.num_users,
         "replicate": unit.replicate,
         "policy": unit.policy,
+        "engine": engine,
         "utility_time": report.utility_time,
         "acceptance": report.acceptance_rate,
         "offered": report.offered,

@@ -21,6 +21,10 @@ compared in a dynamic setting with stream arrivals and departures.
   vectorized trace drawing and CSR-row replay on the
   :class:`~repro.core.indexed.IndexedInstance` arrays (the default;
   ``engine="dict"`` or ``$REPRO_SIM_ENGINE`` selects the original).
+- :mod:`repro.sim.kernel` — the chunked event-dispatch kernel
+  (``engine="chunked"``): skips no-decision event runs wholesale so
+  10⁶-event traces replay in Python time proportional to the number of
+  policy decisions, with float-identical reports.
 - :mod:`repro.sim.metrics` — time-weighted statistics and reports.
 """
 
@@ -31,6 +35,7 @@ from repro.sim.indexed import (
     draw_trace_arrays,
     resolve_sim_engine,
 )
+from repro.sim.kernel import ChunkedVideoSim
 from repro.sim.metrics import ColumnarTimeWeighted, SimulationReport, TimeWeightedValue
 from repro.sim.policies import (
     AdmissionPolicy,
@@ -63,6 +68,7 @@ __all__ = [
     "VideoDistributionSim",
     "IndexedTrace",
     "IndexedVideoSim",
+    "ChunkedVideoSim",
     "draw_trace",
     "draw_trace_arrays",
     "simulate_trace",

@@ -33,6 +33,7 @@ clock other than its own.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable, Generator, Iterator
 
 import numpy as np
@@ -46,6 +47,10 @@ class Timeout:
     __slots__ = ("duration",)
 
     def __init__(self, duration: float) -> None:
+        # NaN fails every comparison, so `duration < 0` alone would let a
+        # NaN delay slip into the calendar and corrupt the heap order.
+        if math.isnan(duration):
+            raise SimulationError("NaN timeout duration")
         if duration < 0:
             raise SimulationError(f"negative timeout: {duration}")
         self.duration = float(duration)
@@ -109,6 +114,10 @@ class Engine:
 
     def schedule(self, delay: float, callback: "Callable[[], None]") -> None:
         """Run ``callback`` after ``delay`` time units."""
+        if math.isnan(delay):
+            # `delay < 0` is False for NaN: without this check a NaN event
+            # time would enter the heap and break the calendar's ordering.
+            raise SimulationError("cannot schedule at a NaN delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
@@ -170,7 +179,12 @@ def merged_replay_order(
 
     - equal-time events fire arrivals first (arrivals are scheduled at
       setup, so they hold lower sequence numbers than any departure);
-    - within a kind, equal-time events fire in trace order (FIFO).
+    - equal-time arrivals fire in trace order (FIFO);
+    - equal-time departures fire in *admission* order — ascending
+      ``(arrival_time, position)`` — because the heap assigns a
+      departure its sequence number when the arrival is processed, not
+      at its trace position (for a time-sorted trace the two orders
+      coincide; they differ on hand-built unsorted event lists).
 
     Events after ``horizon`` (if given) are dropped, matching
     :meth:`Engine.run_until`.
@@ -182,13 +196,21 @@ def merged_replay_order(
     """
     count = int(arrival_times.shape[0])
     times = np.concatenate([arrival_times, departure_times])
+    if np.isnan(times).any():
+        # A NaN sort key makes np.lexsort's order undefined; refuse loudly
+        # (mirroring Engine.schedule) instead of replaying garbage.
+        raise SimulationError("NaN event time in trace (arrival or departure)")
     kind = np.repeat(np.array([0, 1], dtype=np.int64), count)
     position = np.concatenate([np.arange(count), np.arange(count)])
+    # Scheduling-order key: an event's (potential) admission instant —
+    # its own time for arrivals, the arrival's time for departures.
+    scheduled = np.concatenate([arrival_times, arrival_times])
     codes = position + kind * count
     if horizon is not None:
         keep = times <= horizon
-        times, kind, position, codes = times[keep], kind[keep], position[keep], codes[keep]
-    return codes[np.lexsort((position, kind, times))]
+        times, kind, codes = times[keep], kind[keep], codes[keep]
+        position, scheduled = position[keep], scheduled[keep]
+    return codes[np.lexsort((position, scheduled, kind, times))]
 
 
 def poisson_arrivals(

@@ -97,7 +97,12 @@ class IndexedTrace:
 
     @classmethod
     def from_events(cls, idx: IndexedInstance, events) -> "IndexedTrace":
-        """Lower a :class:`SessionEvent` list onto index arrays."""
+        """Lower a :class:`SessionEvent` list onto index arrays.
+
+        An event naming a stream absent from the instance raises the
+        canonical unknown-stream :class:`ValidationError` (the same
+        error the dict engine's replay gives), not a raw ``KeyError``.
+        """
         count = len(events)
         times = np.empty(count)
         streams = np.empty(count, dtype=np.int64)
@@ -105,7 +110,10 @@ class IndexedTrace:
         stream_index = idx.stream_index
         for i, event in enumerate(events):
             times[i] = event.time
-            streams[i] = stream_index[event.stream_id]
+            index = stream_index.get(event.stream_id)
+            if index is None:
+                raise ValidationError(f"unknown stream id {event.stream_id!r}")
+            streams[i] = index
             durations[i] = event.duration
         return cls(times=times, streams=streams, durations=durations)
 
@@ -311,17 +319,21 @@ class IndexedVideoSim:
     # Driving
     # ------------------------------------------------------------------
 
-    def run_trace(
+    def _prepare_trace(
         self, trace: "IndexedTrace | list", horizon: float
-    ) -> SimulationReport:
-        """Replay a pre-drawn trace up to ``horizon`` and report.
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Lower, horizon-filter and sanity-check a trace.
 
-        Accepts an :class:`IndexedTrace` or a ``SessionEvent`` list
-        (lowered on entry).
+        Returns ``(times, streams, durations, departures)`` with arrival
+        times at most ``horizon``.  Rejects NaN times/durations and
+        negative durations loudly (the dict engine refuses to schedule
+        them; silently dropping or never departing would diverge).
         """
         idx = self.idx
         if not isinstance(trace, IndexedTrace):
             trace = IndexedTrace.from_events(idx, trace)
+        if np.isnan(trace.times).any() or np.isnan(trace.durations).any():
+            raise SimulationError("NaN event time or duration in trace")
         keep = trace.times <= horizon
         times = trace.times[keep]
         streams = trace.streams[keep]
@@ -332,7 +344,17 @@ class IndexedVideoSim:
             raise SimulationError(
                 f"negative session duration in trace: {float(durations.min())}"
             )
-        departures = times + durations
+        return times, streams, durations, times + durations
+
+    def run_trace(
+        self, trace: "IndexedTrace | list", horizon: float
+    ) -> SimulationReport:
+        """Replay a pre-drawn trace up to ``horizon`` and report.
+
+        Accepts an :class:`IndexedTrace` or a ``SessionEvent`` list
+        (lowered on entry).
+        """
+        times, streams, durations, departures = self._prepare_trace(trace, horizon)
         count = int(times.shape[0])
         for code in merged_replay_order(times, departures, horizon):
             position = int(code)
@@ -345,6 +367,11 @@ class IndexedVideoSim:
                 self._on_departure(
                     position, int(streams[position]), float(departures[position])
                 )
+        return self._build_report(horizon)
+
+    def _build_report(self, horizon: float) -> SimulationReport:
+        """Assemble the :class:`SimulationReport` from the run's state."""
+        idx = self.idx
         report = SimulationReport(
             policy_name=self.policy.name,
             horizon=horizon,

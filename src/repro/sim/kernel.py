@@ -1,0 +1,175 @@
+"""Chunked event-dispatch kernel: trace replay at 10⁶-event scale.
+
+:class:`~repro.sim.indexed.IndexedVideoSim` already replays a pre-drawn
+trace on arrays, but its driver still pays one Python method call per
+event — two million dispatches for a million-session trace, most of
+which do nothing: an arrival proposing a stream that is already
+multicast is skipped, and the departure of a proposal that was never
+admitted departs nothing.  This module replays the same
+:class:`~repro.sim.indexed.IndexedTrace` by segmenting the replay order
+into maximal no-decision runs that are skipped wholesale, touching
+Python only at the events that can change state:
+
+- **decision points** — arrivals whose stream is not currently carried
+  (the policy is offered the stream; this is the only place policy code
+  runs, exactly as in the per-event engines);
+- **live departures** — the departure of an *admitted* session (resource
+  returns and utility-integration steps).
+
+The replay order itself is the one
+:func:`~repro.sim.engine.merged_replay_order` defines — ascending
+``(time, kind, schedule order)`` with arrivals (kind 0) before
+departures (kind 1) at the same instant and same-instant departures in
+admission order — but the kernel never
+materializes it: a 10⁶-event trace would spend more time in that
+2·E-element multi-key lexsort than in the decisions themselves.
+Instead one vectorized pass groups each stream's arrivals in CSR layout
+(sorted by ``(time, position)``), and a heap of *next-interesting* keys
+— one candidate arrival per stream plus the departures of live
+sessions, ordered by the same ``(time, kind, arrival_time,
+position)`` tuples —
+yields interesting events directly in replay order.  When a decision
+*admits* a stream, every arrival of that stream up to the session's
+departure time is a no-op by construction, so the kernel advances the
+stream's cursor past the whole run with one ``searchsorted`` instead of
+walking it event by event; when it *rejects*, the very next arrival of
+the stream is the next candidate.  Replay cost is therefore one
+``O(E log E)`` numpy grouping pass plus Python work proportional to the
+number of *interesting* events — for production-scale traces (catalog
+≪ events, sessions spanning many inter-arrival times) that is orders of
+magnitude below ``2·E``.
+
+**Parity contract.**  Interesting events fire in exactly the replay
+order the per-event engines use, through the *inherited*
+:meth:`~repro.sim.indexed.IndexedVideoSim._on_arrival` /
+:meth:`~repro.sim.indexed.IndexedVideoSim._on_departure` handlers with
+identical arguments, so every float accumulates in the same IEEE order
+and the :class:`~repro.sim.metrics.SimulationReport` is bit-identical
+to the ``dict`` and ``indexed`` engines on any common trace
+(``tests/test_sim_indexed.py`` asserts this with ``==``).  Skipped
+events touch no counter and no integrator in any engine, which is what
+makes skipping them exact rather than approximate.
+
+Select it per call (``engine="chunked"`` on
+:func:`~repro.sim.simulation.simulate_trace` /
+:func:`~repro.sim.simulation.compare_policies`, ``--engine chunked`` on
+the CLI) or globally via ``$REPRO_SIM_ENGINE``; the default engine
+stays ``indexed``.  ``benchmarks/bench_e15_kernel.py`` asserts the ≥ 5×
+floor over the per-event indexed engine at 10⁶ events.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sim.indexed import IndexedTrace, IndexedVideoSim
+from repro.sim.metrics import SimulationReport
+
+#: Event-kind key component: arrivals tie-break before departures at
+#: the same instant, exactly like the heap calendar and
+#: :func:`~repro.sim.engine.merged_replay_order`.
+_ARRIVAL, _DEPARTURE = 0, 1
+
+
+class ChunkedVideoSim(IndexedVideoSim):
+    """Chunked-dispatch replay of a pre-drawn trace (see module docstring).
+
+    A drop-in :class:`~repro.sim.indexed.IndexedVideoSim`: construction,
+    policy binding, event handlers and reporting are inherited
+    unchanged; only :meth:`run_trace`'s driver differs.  Worst case
+    (every arrival a decision — tiny sessions or a catalog larger than
+    the trace) degrades gracefully to per-decision heap work comparable
+    to the indexed engine's per-event cost, never asymptotically worse.
+    """
+
+    def run_trace(
+        self, trace: "IndexedTrace | list", horizon: float
+    ) -> SimulationReport:
+        """Replay a pre-drawn trace up to ``horizon`` and report.
+
+        Accepts an :class:`~repro.sim.indexed.IndexedTrace` or a
+        ``SessionEvent`` list (lowered on entry), like the parent.
+        """
+        times, streams, durations, departures = self._prepare_trace(trace, horizon)
+        if times.shape[0]:
+            self._replay_chunked(times, streams, departures, horizon)
+        return self._build_report(horizon)
+
+    def _replay_chunked(
+        self,
+        times: np.ndarray,
+        streams: np.ndarray,
+        departures: np.ndarray,
+        horizon: float,
+    ) -> None:
+        """Drive the decision-point loop over the implicit replay order."""
+        num_streams = self.idx.num_streams
+        # Per-stream arrival groups in CSR layout: stream k's arrivals
+        # are sorter[indptr[k]:indptr[k + 1]] (trace positions), sorted
+        # by (time, position) — the sorts are stable, so equal times keep
+        # trace order, reproducing the calendar's FIFO tie-breaking.
+        # Drawn traces arrive time-sorted already, where grouping needs
+        # only the cheaper single-key radix argsort.
+        if times.shape[0] < 2 or bool(np.all(times[1:] >= times[:-1])):
+            sorter = np.argsort(streams, kind="stable")
+        else:
+            sorter = np.lexsort((times, streams))
+        times_by_stream = times[sorter]
+        indptr = np.zeros(num_streams + 1, dtype=np.int64)
+        np.cumsum(np.bincount(streams, minlength=num_streams), out=indptr[1:])
+
+        # The heap holds only next-interesting events, keyed by the
+        # replay-order tuple (time, kind, arrival_time, trace position)
+        # — the third key orders same-instant departures by *admission*,
+        # exactly like the calendar's sequence numbers — with one
+        # candidate arrival per stream, plus the departure of each live
+        # session.  The trailing stream field is payload, never compared
+        # (positions are unique within a kind).
+        heads = np.flatnonzero(np.diff(indptr) > 0)
+        head_positions = sorter[indptr[heads]]
+        head_times = times[head_positions].tolist()
+        heap = list(
+            zip(
+                head_times,
+                (_ARRIVAL,) * heads.shape[0],
+                head_times,
+                head_positions.tolist(),
+                heads.tolist(),
+            )
+        )
+        heapq.heapify(heap)
+        cursor = indptr[:-1].tolist()
+        bounds = indptr[1:].tolist()
+        push, pop = heapq.heappush, heapq.heappop
+        active = self.view.active_mask
+        on_arrival, on_departure = self._on_arrival, self._on_departure
+        while heap:
+            time, kind, _scheduled, position, k = pop(heap)
+            if kind:
+                on_departure(position, int(streams[position]), time)
+                continue
+            on_arrival(position, k, time)
+            lo = cursor[k] + 1
+            hi = bounds[k]
+            if active[k]:
+                departure_time = float(departures[position])
+                if departure_time <= horizon:
+                    push(heap, (departure_time, _DEPARTURE, time, position, -1))
+                    # Admitted: every arrival of k at a time <= the
+                    # departure fires while the stream is still carried
+                    # (arrivals precede the departure at the tie instant)
+                    # — skip the whole no-op run with one searchsorted.
+                    lo += int(
+                        np.searchsorted(
+                            times_by_stream[lo:hi], departure_time, side="right"
+                        )
+                    )
+                else:  # departs beyond the horizon: carried to the end
+                    lo = hi
+            cursor[k] = lo
+            if lo < hi:
+                position = int(sorter[lo])
+                arrival_time = float(times[position])
+                push(heap, (arrival_time, _ARRIVAL, arrival_time, position, k))

@@ -13,7 +13,7 @@ This is the substrate for experiment E9: the same arrival trace is
 replayed under every policy (common random numbers), so differences in
 collected utility are attributable to the policies alone.
 
-Two replay engines implement the identical semantics:
+Three replay engines implement the identical semantics:
 
 - ``engine="dict"`` — :class:`VideoDistributionSim`, the original
   string-keyed event-loop implementation (heap calendar, per-user
@@ -21,7 +21,11 @@ Two replay engines implement the identical semantics:
 - ``engine="indexed"`` (default; ``$REPRO_SIM_ENGINE`` overrides) —
   :class:`repro.sim.indexed.IndexedVideoSim`, the array-native engine,
   which reproduces the dict engine's reports float-for-float on any
-  common trace (``tests/test_sim_indexed.py``).
+  common trace (``tests/test_sim_indexed.py``);
+- ``engine="chunked"`` — :class:`repro.sim.kernel.ChunkedVideoSim`,
+  the chunked event-dispatch kernel for 10⁶-event traces: no-decision
+  event runs are skipped wholesale, Python fires only at policy
+  decisions and live departures, and reports stay float-identical.
 
 :func:`simulate_trace` and :func:`compare_policies` are the
 engine-dispatching front doors; :func:`compare_policies` additionally
@@ -103,19 +107,20 @@ def draw_trace(
     already carries (a multicast system gets no new decision from a
     second request for a carried stream).
 
-    ``engine="indexed"`` (the default) draws the whole trace with
-    batched numpy calls (:func:`repro.sim.indexed.draw_trace_arrays`);
-    ``engine="dict"`` keeps the original per-event loop.  Both are
-    deterministic under ``seed`` but consume randomness in different
-    orders, so the two engines produce different (equally distributed)
-    traces for the same seed.
+    ``engine="indexed"`` (the default) and ``engine="chunked"`` draw
+    the whole trace with batched numpy calls
+    (:func:`repro.sim.indexed.draw_trace_arrays`); ``engine="dict"``
+    keeps the original per-event loop.  All are deterministic under
+    ``seed``, but the array draw consumes randomness in a different
+    order than the loop draw, so the dict engine produces a different
+    (equally distributed) trace for the same seed.
 
     Degenerate inputs — a zero arrival rate or an empty catalog — yield
-    an empty trace under both engines (the rate formerly divided by
+    an empty trace under every engine (the rate formerly divided by
     zero, and an empty catalog produced NaN Zipf weights).
     """
     idx = ensure_indexed(instance)
-    if resolve_sim_engine(engine) == "indexed":
+    if resolve_sim_engine(engine) != "dict":
         return draw_trace_arrays(idx, model, horizon, seed).to_events(idx)
     if model.rate <= 0 or idx.num_streams == 0 or horizon <= 0:
         return []
@@ -269,10 +274,17 @@ class VideoDistributionSim:
     def run_trace(
         self, trace: "list[SessionEvent] | IndexedTrace", horizon: float
     ) -> SimulationReport:
-        """Replay a pre-drawn trace up to ``horizon`` and report."""
+        """Replay a pre-drawn trace up to ``horizon`` and report.
+
+        An event naming a stream the instance does not carry raises the
+        canonical unknown-stream :class:`ValidationError` up front (the
+        array engines reject it while lowering the trace), rather than
+        a mid-replay ``KeyError`` from the first policy lookup.
+        """
         if isinstance(trace, IndexedTrace):
             trace = trace.to_events(ensure_indexed(self.instance))
         for event in trace:
+            self.instance.stream(event.stream_id)  # canonical unknown-stream error
             if event.time > horizon:
                 continue
             self.engine.schedule_at(event.time, lambda e=event: self._on_arrival(e))
@@ -317,11 +329,18 @@ def simulate_trace(
     """Replay one trace under one policy with the chosen engine.
 
     The engine-dispatching front door: ``engine="indexed"`` (default)
-    runs :class:`repro.sim.indexed.IndexedVideoSim`, ``engine="dict"``
-    the original :class:`VideoDistributionSim`; both accept either trace
+    runs :class:`repro.sim.indexed.IndexedVideoSim`,
+    ``engine="chunked"`` the decision-point kernel
+    :class:`repro.sim.kernel.ChunkedVideoSim`, ``engine="dict"`` the
+    original :class:`VideoDistributionSim`; all accept either trace
     representation and produce identical reports on the same trace.
     """
-    if resolve_sim_engine(engine) == "indexed":
+    engine = resolve_sim_engine(engine)
+    if engine == "chunked":
+        from repro.sim.kernel import ChunkedVideoSim
+
+        return ChunkedVideoSim(instance, policy).run_trace(trace, horizon)
+    if engine == "indexed":
         return IndexedVideoSim(instance, policy).run_trace(trace, horizon)
     return VideoDistributionSim(instance, policy).run_trace(trace, horizon)
 
@@ -352,8 +371,9 @@ def compare_policies(
         As before; ``seed`` feeds the trace draw only.
     engine:
         Simulation engine for the trace draw and every replay
-        (``indexed`` default, ``dict`` for the original path,
-        ``$REPRO_SIM_ENGINE`` overrides).
+        (``indexed`` default, ``chunked`` for the decision-point
+        kernel, ``dict`` for the original path, ``$REPRO_SIM_ENGINE``
+        overrides).
     parallel:
         Number of worker processes.  ``1`` (default) replays in-process;
         ``N > 1`` fans the policies out over a process pool via the
@@ -367,7 +387,7 @@ def compare_policies(
     if parallel < 1:
         raise ValidationError(f"parallel must be >= 1, got {parallel}")
     if trace is None:
-        if engine == "indexed":
+        if engine != "dict":
             trace = draw_trace_arrays(instance, model or ArrivalModel(), horizon, seed)
         else:
             trace = draw_trace(

@@ -156,6 +156,99 @@ class TestOnlineSemantics:
         assert result.rejected or result.assignment.assigned_streams()
 
 
+class TestRejectionAccounting:
+    """Regression for the unbounded ``rejected`` list: re-offered
+    rejections over a long trace must not grow memory."""
+
+    @staticmethod
+    def _rejecting_allocator():
+        inst = random_mmd(8, 3, m=1, mc=1, seed=51, budget_fraction=0.15)
+        allocator = OnlineAllocator(inst)
+        rejected_id = next(
+            sid for sid in inst.stream_ids() if not allocator.offer(sid)
+        )
+        return allocator, rejected_id
+
+    def test_reoffered_rejection_does_not_grow_list(self):
+        allocator, sid = self._rejecting_allocator()
+        length = len(allocator.rejected)
+        count = allocator.rejected_count
+        for _ in range(100):
+            assert allocator.offer(sid) == []
+        assert len(allocator.rejected) == length  # deduplicated
+        assert allocator.rejected_count == count + 100  # still all counted
+
+    def test_rejected_list_bounded_by_catalog(self):
+        allocator, sid = self._rejecting_allocator()
+        for _ in range(50):
+            allocator.offer(sid)
+        assert len(allocator.rejected) <= allocator.instance.num_streams
+        assert allocator.rejected.count(sid) == 1
+
+    def test_batch_allocate_semantics_preserved(self):
+        """Each stream offered once: the dedup is invisible to allocate()."""
+        inst = random_mmd(8, 3, m=1, mc=1, seed=51, budget_fraction=0.15)
+        result = allocate(inst)
+        assert len(result.rejected) == len(set(result.rejected))
+        carried = {
+            sid for _uid, streams in result.assignment.as_dict().items()
+            for sid in streams
+        }
+        assert set(result.rejected).isdisjoint(carried)
+
+
+class TestIncrementalCharges:
+    """The cached exponential charges must equal ``µ^L`` bit-for-bit at
+    every point, and the periodic drift-guard resync must be a no-op —
+    the invariants that keep decisions identical to the uncached path."""
+
+    @staticmethod
+    def _exercise(allocator, inst, releases=True):
+        import numpy as np
+
+        for step, sid in enumerate(inst.stream_ids()):
+            allocator.offer(sid)
+            if releases and step % 3 == 2 and sid not in allocator.rejected:
+                try:
+                    allocator.release(sid)
+                except ValidationError:
+                    pass
+        return np
+
+    def test_caches_match_exact_powers(self):
+        inst = small_streams_mmd(14, 4, seed=77)
+        allocator = OnlineAllocator(inst)
+        np = self._exercise(allocator, inst)
+        expected_user = allocator.mu ** allocator._user_load_arr
+        assert np.array_equal(allocator._exp_user, expected_user)
+        for i in range(allocator._idx.m):
+            assert float(allocator._exp_server[i]) == (
+                allocator.mu ** float(allocator._server_load_arr[i])
+            )
+
+    def test_resync_is_bitwise_noop(self):
+        inst = small_streams_mmd(12, 3, seed=78)
+        allocator = OnlineAllocator(inst)
+        np = self._exercise(allocator, inst)
+        before_user = allocator._exp_user.copy()
+        before_server = allocator._exp_server.copy()
+        allocator.resync_charges()
+        assert np.array_equal(allocator._exp_user, before_user)
+        assert np.array_equal(allocator._exp_server, before_server)
+        assert allocator._ops_since_resync == 0
+
+    def test_decisions_match_per_offer_recompute(self):
+        """Offer-by-offer, the incremental allocator's receiver sets must
+        equal those of a reference that resyncs before every decision
+        (i.e. the pre-cache behavior)."""
+        inst = small_streams_mmd(16, 5, seed=79)
+        incremental = OnlineAllocator(inst)
+        reference = OnlineAllocator(inst)
+        for sid in inst.stream_ids():
+            reference.resync_charges()  # force the "recompute every offer" path
+            assert incremental.offer(sid) == reference.offer(sid)
+
+
 class TestMaximality:
     def test_selected_set_satisfies_condition(self):
         """The chosen U_j satisfies the Line-4 inequality at decision time."""

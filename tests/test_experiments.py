@@ -238,7 +238,7 @@ class TestSpec:
     def test_builtin_specs_ship_and_validate(self):
         names = set(builtin_specs())
         assert {"e3-runtime", "e11-indexed", "e12-generation",
-                "e13-simulation", "smoke", "smoke-sim"} <= names
+                "e13-simulation", "e15-kernel", "smoke", "smoke-sim"} <= names
         for name in names:
             spec = resolve_spec(name)
             assert spec.num_units() >= 1
@@ -352,6 +352,27 @@ class TestRunner:
         assert run.rows[0]["utility_time"] == reports[0].utility_time
         assert run.rows[1]["utility_time"] == reports[1].utility_time
         assert run.rows[0]["jain"] == reports[0].jain_fairness
+
+    def test_rows_record_resolved_engine(self):
+        from dataclasses import replace
+
+        solve_run = run_experiment(SMOKE)
+        assert {r["engine"] for r in solve_run.rows} == {"indexed"}
+        sim_run = run_experiment(replace(SIM, sim_engine="chunked"))
+        assert {r["engine"] for r in sim_run.rows} == {"chunked"}
+
+    def test_chunked_engine_rows_match_indexed(self):
+        """A simulate spec produces identical metrics under the chunked
+        kernel and the per-event indexed engine (runner-level parity)."""
+        from dataclasses import replace
+
+        indexed = run_experiment(replace(SIM, sim_engine="indexed"))
+        chunked = run_experiment(replace(SIM, sim_engine="chunked"))
+        for row_i, row_c in zip(indexed.rows, chunked.rows):
+            assert row_i["engine"] == "indexed" and row_c["engine"] == "chunked"
+            for key in ("utility_time", "offered", "admitted", "deliveries",
+                        "violations", "peak_utilization", "jain"):
+                assert row_i[key] == row_c[key], key
 
     def test_jsonl_family_runs_serialized_instances(self, tmp_path):
         from repro.instances.generators import random_unit_skew_smd

@@ -52,6 +52,15 @@ class TestUnitIntervalDecomposition:
         )
         assert groups == [["a", "z", "b"]]
 
+    def test_zero_cost_item_on_integer_boundary_keeps_bound(self):
+        """Regression: a zero-cost item starting exactly at an integer
+        point used to open a phantom window beyond ⌈C⌉, splitting the
+        open run and exceeding the 2⌈C⌉-1 group bound."""
+        costs = {"i0": 0.6, "i1": 0.6, "i2": 0.6, "i3": 0.2, "i4": 0.0}
+        groups = unit_interval_decomposition(list(costs), costs.get)
+        assert groups == [["i0"], ["i1"], ["i2", "i3", "i4"]]
+        assert len(groups) <= 2 * math.ceil(sum(costs.values())) - 1
+
     def test_negative_cost_rejected(self):
         with pytest.raises(ValidationError):
             unit_interval_decomposition(["a"], {"a": -1.0}.get)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.exceptions import SimulationError
@@ -33,6 +35,20 @@ class TestScheduling:
         engine = Engine()
         with pytest.raises(SimulationError):
             engine.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        """Regression: `delay < 0` is False for NaN, so a NaN delay used
+        to slip into the heap and corrupt the calendar ordering."""
+        engine = Engine()
+        with pytest.raises(SimulationError, match="NaN"):
+            engine.schedule(math.nan, lambda: None)
+        assert engine.empty()  # nothing was enqueued
+
+    def test_nan_absolute_time_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="NaN"):
+            engine.schedule_at(math.nan, lambda: None)
+        assert engine.empty()
 
     def test_schedule_at(self):
         engine = Engine()
@@ -157,6 +173,10 @@ class TestProcesses:
     def test_negative_timeout_rejected(self):
         with pytest.raises(SimulationError):
             Timeout(-1.0)
+
+    def test_nan_timeout_rejected(self):
+        with pytest.raises(SimulationError, match="NaN"):
+            Timeout(math.nan)
 
 
 class TestPoissonArrivals:

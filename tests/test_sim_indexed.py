@@ -1,12 +1,15 @@
-"""Parity suite for the array-native simulation engine.
+"""Parity suite for the array-native simulation engines.
 
-The indexed engine (:mod:`repro.sim.indexed`) promises reports that are
-*float-identical* to the dict engine's on any common trace: same utility
-integral, same admits/deliveries/violations, same per-user utilities and
-server utilizations.  These hypothesis-driven tests replay the same
-dict-drawn trace under both engines for every built-in policy and assert
-equality with ``==``, plus determinism-under-seed for the vectorized
-trace draw and regression tests for the degenerate-input fixes.
+The indexed engine (:mod:`repro.sim.indexed`) and the chunked
+event-dispatch kernel (:mod:`repro.sim.kernel`) promise reports that
+are *float-identical* to the dict engine's on any common trace: same
+utility integral, same admits/deliveries/violations, same per-user
+utilities and server utilizations.  These hypothesis-driven tests
+replay the same dict-drawn trace under all three engines for every
+built-in policy and assert equality with ``==``, plus
+determinism-under-seed for the vectorized trace draw, horizon-boundary
+and tie-breaking agreement, and regression tests for the
+degenerate-input fixes.
 """
 
 from __future__ import annotations
@@ -46,6 +49,9 @@ from repro.sim.simulation import (
 
 MODEL = ArrivalModel(rate=2.0, mean_duration=12.0)
 
+#: Every replay engine; reports must agree float-for-float across them.
+ENGINES = ("dict", "indexed", "chunked")
+
 POLICY_FACTORIES = {
     "threshold": lambda: ThresholdPolicy(margin=1.0),
     "allocate": lambda: AllocatePolicy(),
@@ -68,6 +74,20 @@ def assert_reports_identical(first, second):
     assert first.peak_server_utilization == second.peak_server_utilization
 
 
+def assert_engines_agree(instance, factory, trace, horizon):
+    """Replay one trace under every engine; reports must be identical.
+
+    Returns the dict engine's report (for extra assertions).
+    """
+    reports = [
+        simulate_trace(instance, factory(), trace, horizon, engine=engine)
+        for engine in ENGINES
+    ]
+    for other in reports[1:]:
+        assert_reports_identical(reports[0], other)
+    return reports[0]
+
+
 class TestEngineParity:
     @settings(max_examples=15, deadline=None)
     @given(
@@ -78,10 +98,7 @@ class TestEngineParity:
     def test_random_mmd_parity(self, seed, size, policy_key):
         instance = random_mmd(*size, m=2, mc=1, seed=seed, budget_fraction=0.3)
         trace = draw_trace(instance, MODEL, horizon=40.0, seed=seed, engine="dict")
-        factory = POLICY_FACTORIES[policy_key]
-        dict_report = simulate_trace(instance, factory(), trace, 40.0, engine="dict")
-        idx_report = simulate_trace(instance, factory(), trace, 40.0, engine="indexed")
-        assert_reports_identical(dict_report, idx_report)
+        assert_engines_agree(instance, POLICY_FACTORIES[policy_key], trace, 40.0)
 
     @pytest.mark.parametrize("policy_key", sorted(POLICY_FACTORIES))
     def test_workload_parity(self, policy_key):
@@ -89,43 +106,49 @@ class TestEngineParity:
             num_channels=14, num_households=6, seed=11
         )
         trace = draw_trace(instance, MODEL, horizon=150.0, seed=7, engine="indexed")
-        factory = POLICY_FACTORIES[policy_key]
-        dict_report = simulate_trace(instance, factory(), trace, 150.0, engine="dict")
-        idx_report = simulate_trace(instance, factory(), trace, 150.0, engine="indexed")
-        assert dict_report.admitted > 0  # a vacuous run proves nothing
-        assert_reports_identical(dict_report, idx_report)
+        report = assert_engines_agree(
+            instance, POLICY_FACTORIES[policy_key], trace, 150.0
+        )
+        assert report.admitted > 0  # a vacuous run proves nothing
 
     def test_clipping_parity_under_overshooting_policy(self):
-        """A margin > 1 threshold policy answers infeasibly; both engines
+        """A margin > 1 threshold policy answers infeasibly; every engine
         must clip identically and count the same violations."""
         instance = iptv_neighborhood_workload(
             num_channels=14, num_households=6, seed=11
         )
         model = ArrivalModel(rate=3.0, mean_duration=25.0)
         trace = draw_trace(instance, model, horizon=150.0, seed=7, engine="dict")
-        dict_report = simulate_trace(
-            instance, ThresholdPolicy(margin=1.6), trace, 150.0, engine="dict"
+        report = assert_engines_agree(
+            instance, lambda: ThresholdPolicy(margin=1.6), trace, 150.0
         )
-        idx_report = simulate_trace(
-            instance, ThresholdPolicy(margin=1.6), trace, 150.0, engine="indexed"
-        )
-        assert dict_report.policy_violations > 0
-        assert_reports_identical(dict_report, idx_report)
+        assert report.policy_violations > 0
 
     def test_indexed_trace_replays_identically(self):
-        """Both engines accept both trace representations."""
+        """Every engine accepts both trace representations."""
         instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=2)
         arrays = draw_trace_arrays(instance, MODEL, horizon=60.0, seed=9)
         events = draw_trace(instance, MODEL, horizon=60.0, seed=9, engine="indexed")
         reports = [
             simulate_trace(instance, ThresholdPolicy(), trace, 60.0, engine=engine)
             for trace in (arrays, events)
-            for engine in ("dict", "indexed")
+            for engine in ENGINES
         ]
         for other in reports[1:]:
             assert_reports_identical(reports[0], other)
 
-    def test_adapter_policy_runs_under_indexed_engine(self):
+    def test_unsorted_event_list_replays_identically(self):
+        """A hand-built, time-shuffled event list replays identically —
+        the chunked kernel's general (non-presorted) grouping path."""
+        instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=2)
+        events = draw_trace(instance, MODEL, horizon=60.0, seed=9, engine="indexed")
+        shuffled = list(reversed(events))
+        report = assert_engines_agree(
+            instance, ThresholdPolicy, shuffled, 60.0
+        )
+        assert report.admitted > 0
+
+    def test_adapter_policy_runs_under_every_engine(self):
         """A custom policy implementing only the string API works (and
         matches the dict engine) via the default indexed adapters."""
 
@@ -140,14 +163,12 @@ class TestEngineParity:
 
         instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=5)
         trace = draw_trace(instance, MODEL, horizon=80.0, seed=13, engine="dict")
-        dict_report = simulate_trace(instance, FirstUserPolicy(), trace, 80.0, engine="dict")
-        idx_report = simulate_trace(instance, FirstUserPolicy(), trace, 80.0, engine="indexed")
-        assert dict_report.admitted > 0
-        assert_reports_identical(dict_report, idx_report)
+        report = assert_engines_agree(instance, FirstUserPolicy, trace, 80.0)
+        assert report.admitted > 0
 
     def test_duplicate_receivers_collapse_identically(self):
-        """A buggy policy answering the same user twice: both engines
-        collapse the duplicate, keeping reports consistent and equal."""
+        """A buggy policy answering the same user twice: every engine
+        collapses the duplicate, keeping reports consistent and equal."""
 
         class EveryoneTwicePolicy(AdmissionPolicy):
             name = "everyone-twice"
@@ -158,21 +179,16 @@ class TestEngineParity:
 
         instance = iptv_neighborhood_workload(num_channels=8, num_households=4, seed=6)
         trace = draw_trace(instance, MODEL, horizon=60.0, seed=15, engine="dict")
-        dict_report = simulate_trace(
-            instance, EveryoneTwicePolicy(), trace, 60.0, engine="dict"
-        )
-        idx_report = simulate_trace(
-            instance, EveryoneTwicePolicy(), trace, 60.0, engine="indexed"
-        )
-        assert dict_report.admitted > 0
-        assert_reports_identical(dict_report, idx_report)
-        assert sum(idx_report.per_user_utility.values()) == pytest.approx(
-            idx_report.utility_time
+        report = assert_engines_agree(instance, EveryoneTwicePolicy, trace, 60.0)
+        assert report.admitted > 0
+        assert sum(report.per_user_utility.values()) == pytest.approx(
+            report.utility_time
         )
 
-    def test_negative_duration_rejected_loudly(self):
-        """The indexed engine must not silently admit a never-departing
-        session (the dict engine raises when scheduling into the past)."""
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_negative_duration_rejected_loudly(self, engine):
+        """No engine may silently admit a never-departing session (the
+        dict engine raises when scheduling into the past)."""
         from repro.exceptions import SimulationError
 
         instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
@@ -181,23 +197,34 @@ class TestEngineParity:
                 time=5.0, stream_id=instance.stream_ids()[0], duration=-2.0
             )
         ]
-        with pytest.raises(SimulationError, match="negative"):
-            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine="indexed")
         with pytest.raises(SimulationError):
-            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine="dict")
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine=engine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unknown_stream_raises_validation_error(self, engine):
+        """An event naming a stream absent from the instance fails with
+        the canonical unknown-stream error under every engine —
+        regression for the raw ``KeyError`` the indexed lowering threw."""
+        from repro.exceptions import ValidationError
+
+        instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
+        trace = [SessionEvent(time=1.0, stream_id="no-such-stream", duration=5.0)]
+        with pytest.raises(ValidationError, match="unknown stream id"):
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine=engine)
 
     def test_compare_policies_engines_agree(self):
         instance = iptv_neighborhood_workload(num_channels=10, num_households=5, seed=3)
         trace = draw_trace(instance, MODEL, horizon=100.0, seed=21, engine="dict")
         for key in sorted(POLICY_FACTORIES):
             factory = POLICY_FACTORIES[key]
-            [dict_report] = compare_policies(
-                instance, [factory()], 100.0, MODEL, trace=trace, engine="dict"
-            )
-            [idx_report] = compare_policies(
-                instance, [factory()], 100.0, MODEL, trace=trace, engine="indexed"
-            )
-            assert_reports_identical(dict_report, idx_report)
+            reports = [
+                compare_policies(
+                    instance, [factory()], 100.0, MODEL, trace=trace, engine=engine
+                )[0]
+                for engine in ENGINES
+            ]
+            for other in reports[1:]:
+                assert_reports_identical(reports[0], other)
 
     def test_compare_policies_parallel_matches_serial(self):
         instance = iptv_neighborhood_workload(num_channels=10, num_households=5, seed=4)
@@ -273,6 +300,116 @@ class TestVectorizedDraw:
         assert draw_trace(instance, ArrivalModel(), 0.0, seed=1, engine=engine) == []
 
 
+class TestHorizonAndTieParity:
+    """Boundary agreement across all three engines: events at exactly the
+    horizon, arrival/departure ties at one instant, departures landing
+    on the horizon.  These are the spots where an off-by-one in event
+    filtering or tie-breaking silently skews reports."""
+
+    @staticmethod
+    def _instance():
+        return iptv_neighborhood_workload(num_channels=6, num_households=3, seed=4)
+
+    def _agree(self, instance, trace, horizon):
+        return assert_engines_agree(instance, ThresholdPolicy, trace, horizon)
+
+    def test_arrival_exactly_at_horizon_is_offered(self):
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        report = self._agree(
+            instance, [SessionEvent(time=30.0, stream_id=sid, duration=5.0)], 30.0
+        )
+        # run_until(horizon) processes events with time <= horizon.
+        assert report.offered == 1
+
+    def test_arrival_after_horizon_is_dropped(self):
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        report = self._agree(
+            instance,
+            [SessionEvent(time=30.0 + 1e-9, stream_id=sid, duration=5.0)],
+            30.0,
+        )
+        assert report.offered == 0
+
+    def test_departure_exactly_at_horizon_fires(self):
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        report = self._agree(
+            instance, [SessionEvent(time=10.0, stream_id=sid, duration=20.0)], 30.0
+        )
+        assert report.admitted == 1  # departs at t=30 == horizon, cleanly
+
+    def test_rearrival_at_departure_instant_is_skipped(self):
+        """At one instant, arrivals fire before departures: a proposal for
+        a stream departing at exactly that time sees it still carried."""
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        trace = [
+            SessionEvent(time=5.0, stream_id=sid, duration=10.0),   # departs t=15
+            SessionEvent(time=15.0, stream_id=sid, duration=10.0),  # tie: skipped
+            SessionEvent(time=16.0, stream_id=sid, duration=5.0),   # fresh decision
+        ]
+        report = self._agree(instance, trace, 40.0)
+        assert report.offered == 2  # the tie arrival was never a decision
+
+    def test_simultaneous_arrivals_fifo_across_streams(self):
+        instance = self._instance()
+        sids = instance.stream_ids()
+        trace = [
+            SessionEvent(time=5.0, stream_id=sids[1], duration=8.0),
+            SessionEvent(time=5.0, stream_id=sids[0], duration=8.0),
+            SessionEvent(time=5.0, stream_id=sids[1], duration=8.0),  # dup: skipped
+        ]
+        report = self._agree(instance, trace, 40.0)
+        assert report.offered == 2
+
+    def test_zero_duration_session(self):
+        """A zero-length session admits and departs at the same instant
+        (arrival first, departure immediately after) in every engine."""
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        trace = [
+            SessionEvent(time=5.0, stream_id=sid, duration=0.0),
+            SessionEvent(time=5.0, stream_id=sid, duration=3.0),  # same instant
+        ]
+        report = self._agree(instance, trace, 40.0)
+        # The second proposal ties before the first session's departure,
+        # so it is skipped while the zero-length session is carried.
+        assert report.offered == 1
+        assert report.utility_time == 0.0
+
+    def test_session_spanning_horizon_never_departs(self):
+        instance = self._instance()
+        sid = instance.stream_ids()[0]
+        trace = [
+            SessionEvent(time=10.0, stream_id=sid, duration=100.0),  # beyond T
+            SessionEvent(time=20.0, stream_id=sid, duration=1.0),    # skipped
+        ]
+        report = self._agree(instance, trace, 30.0)
+        assert report.offered == 1
+        assert report.admitted == 1
+
+    @pytest.mark.parametrize("policy_key", ["threshold", "allocate"])
+    def test_simultaneous_departures_fire_in_admission_order(self, policy_key):
+        """Two sessions departing at the same instant from an *unsorted*
+        event list: the heap calendar fires them in admission order, not
+        trace-position order — the merged order and the chunked kernel
+        must tie-break identically (regression: they used trace order)."""
+        instance = iptv_neighborhood_workload(
+            num_channels=8, num_households=5, seed=3
+        )
+        sids = instance.stream_ids()
+        trace = [
+            SessionEvent(time=2.0, stream_id=sids[0], duration=2.0),  # admitted 2nd
+            SessionEvent(time=1.0, stream_id=sids[1], duration=3.0),  # admitted 1st
+        ]  # both depart at t=4.0
+        report = assert_engines_agree(
+            instance, POLICY_FACTORIES[policy_key], trace, 10.0
+        )
+        assert report.admitted == 2
+
+
 class TestMergedReplayOrder:
     def test_arrivals_precede_departures_at_ties(self):
         order = merged_replay_order(
@@ -288,6 +425,43 @@ class TestMergedReplayOrder:
     def test_horizon_drops_late_events(self):
         order = merged_replay_order(np.array([1.0, 6.0]), np.array([4.0, 9.0]), horizon=5.0)
         assert [int(c) for c in order] == [0, 2]
+
+    def test_nan_event_time_rejected(self):
+        """Regression: a NaN time made the lexsort order undefined."""
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="NaN"):
+            merged_replay_order(np.array([1.0, math.nan]), np.array([4.0, 9.0]))
+        with pytest.raises(SimulationError, match="NaN"):
+            merged_replay_order(np.array([1.0, 2.0]), np.array([4.0, math.nan]))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_nan_trace_time_rejected_by_every_engine(self, engine):
+        """A NaN arrival time must fail loudly, not silently drop or
+        corrupt the calendar (`time > horizon` is False for NaN)."""
+        from repro.exceptions import SimulationError
+
+        instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
+        trace = [
+            SessionEvent(
+                time=math.nan, stream_id=instance.stream_ids()[0], duration=5.0
+            )
+        ]
+        with pytest.raises(SimulationError, match="NaN"):
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine=engine)
+
+    @pytest.mark.parametrize("engine", ["indexed", "chunked"])
+    def test_nan_duration_rejected_by_array_engines(self, engine):
+        from repro.exceptions import SimulationError
+
+        instance = iptv_neighborhood_workload(num_channels=6, num_households=3, seed=1)
+        trace = [
+            SessionEvent(
+                time=2.0, stream_id=instance.stream_ids()[0], duration=math.nan
+            )
+        ]
+        with pytest.raises(SimulationError, match="NaN"):
+            simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine=engine)
 
 
 class TestSparseReport:
