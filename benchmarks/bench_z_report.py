@@ -45,3 +45,8 @@ def bench_z_assemble_report(benchmark):
     assert "## E1" in document
     print(f"\nEXPERIMENTS.md written ({len(document)} chars, "
           f"{document.count('## ')} sections)")
+    artifacts = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if artifacts:
+        print(f"raw artifacts staged ({len(artifacts)}):")
+        for path in artifacts:
+            print(f"  {path.relative_to(REPO_ROOT)}")

@@ -13,6 +13,7 @@ Every bench:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,6 +32,19 @@ def stage_section(*args, **kwargs) -> str:
     print()
     print(section)
     return section
+
+
+def stage_json(experiment_id: str, payload: dict) -> Path:
+    """Stage a machine-readable per-benchmark artifact.
+
+    Writes ``benchmarks/results/BENCH_<ID>.json`` next to the markdown
+    sections; ``bench_z_report.py`` lists the staged artifacts so CI can
+    archive raw numbers alongside ``EXPERIMENTS.md``.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment_id.upper()}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_once(benchmark, fn):

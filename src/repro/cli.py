@@ -759,7 +759,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: "list[str] | None" = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValidationError as error:
+        # Bad input — including an invalid $REPRO_*_ENGINE smuggled in
+        # through the environment — is a usage error (exit code 2, like
+        # argparse), not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

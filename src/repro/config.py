@@ -11,11 +11,20 @@ generation  instance draw path       ``$REPRO_GEN_ENGINE`` vectorized
 simulation  trace draw and replay    ``$REPRO_SIM_ENGINE`` indexed
 ==========  =======================  ====================  ==========
 
-The simulation seam has three engines: ``dict`` (the original
+The solver seam has four engines: ``dict`` (the original string-keyed
+implementations), ``indexed`` (vectorized single-pick kernels, the
+default), ``batched`` (:mod:`repro.core.batched`, multi-pick greedy
+rounds) and ``numba`` (optional JIT of the single-pick loop; requires
+the ``numba`` extra and raises a clear error without it).  All four
+produce bit-identical traces.
+
+The simulation seam has four engines: ``dict`` (the original
 string-keyed event loop), ``indexed`` (array-native per-event replay,
-the default) and ``chunked`` (:mod:`repro.sim.kernel`, which skips
-no-decision event runs wholesale for 10⁶-event traces); all three
-produce float-identical reports on a common trace.
+the default), ``chunked`` (:mod:`repro.sim.kernel`, which skips
+no-decision event runs wholesale for 10⁶-event traces) and ``batched``
+(chunked replay answering grouped arrivals through the policies'
+vectorized ``on_offer_batch``); all four produce float-identical
+reports on a common trace.
 
 Before this module each seam duplicated the same resolution logic
 (explicit argument > environment variable > default) in its own file.
@@ -68,7 +77,7 @@ ENGINE_SETTINGS: "dict[str, EngineSetting]" = {
         label="engine",
         env="REPRO_ENGINE",
         default="indexed",
-        choices=("indexed", "dict"),
+        choices=("indexed", "dict", "batched", "numba"),
     ),
     "generation": EngineSetting(
         kind="generation",
@@ -82,7 +91,7 @@ ENGINE_SETTINGS: "dict[str, EngineSetting]" = {
         label="simulation engine",
         env="REPRO_SIM_ENGINE",
         default="indexed",
-        choices=("indexed", "dict", "chunked"),
+        choices=("indexed", "dict", "chunked", "batched"),
     ),
 }
 

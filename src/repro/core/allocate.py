@@ -367,6 +367,110 @@ class OnlineAllocator:
         self.assignment.assign_stream(stream_id, idx.user_ids_of(selected_users))
         return selected_users
 
+    def offer_batch(self, ks: np.ndarray) -> "list[np.ndarray]":
+        """Answer a group of offers; returns answers for a prefix of ``ks``.
+
+        Used by the batched simulation engine for arrival groups whose
+        decisions cannot interact until one commits.  The exponential
+        charges only move on a commit, so every offer the sequential
+        walk would *reject* sees unchanged state — this method
+        vectorizes the rejection filter (batched charges, one
+        segment-major ``lexsort``, padded-row ``cumsum`` /
+        ``subtract.accumulate`` replaying each offer's drop loop in its
+        exact float order) and then delegates the first offer predicted
+        to select users to :meth:`offer_indexed`, which recomputes and
+        commits through the unchanged scalar path.  The answers are
+        therefore bit-identical to calling :meth:`offer_indexed` in
+        sequence; the prefix ends at the first potentially
+        state-changing answer (the caller re-offers the rest).
+        """
+        idx = self._idx
+        empty = np.empty(0, dtype=np.int64)
+        total = len(ks)
+        if total == 0:
+            return []
+        ks_arr = np.asarray(ks, dtype=np.int64)
+        starts = idx.s_indptr[ks_arr]
+        counts = (idx.s_indptr[ks_arr + 1] - starts).astype(np.int64)
+        keep = np.zeros(total, dtype=np.int64)  # predicted Line-4 count
+        nz = counts > 0
+        if nz.any():
+            from repro.core.indexed import _concat_ranges
+
+            row_pairs = _concat_ranges(starts[nz], counts[nz])
+            row_users = idx.s_user[row_pairs]
+            row_w = idx.s_w[row_pairs]
+            lengths = counts[nz]
+            nrows = lengths.size
+            seg = np.repeat(np.arange(nrows), lengths)
+            charges = self._user_charges(row_users, row_pairs)
+
+            # Per-offer server charge, measures accumulating in the
+            # scalar loop's ascending order (zero-cost terms contribute
+            # an exact 0.0 instead of being skipped — same float, and
+            # the `where` avoids 0·inf).
+            server_charge = np.zeros(nrows)
+            for i in self._server_measures:
+                cost_col = idx.stream_costs[ks_arr[nz], i]
+                exp_cost = self._exp_cost_server(i)
+                server_charge += np.where(
+                    cost_col > 0, (cost_col / idx.budgets[i]) * exp_cost, 0.0
+                )
+
+            with np.errstate(invalid="ignore"):
+                ratio = charges / row_w
+                # Segment-major stable lexsort == each offer's own
+                # (rank, charge/utility) lexsort, concatenated.
+                order = np.lexsort((idx.user_rank[row_users], ratio, seg))
+                sorted_charges = charges[order]
+                sorted_w = row_w[order]
+                offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+                col = np.arange(seg.size, dtype=np.int64) - offsets[seg]
+                width = int(lengths.max())
+                mat_c = np.zeros((nrows, width))
+                mat_u = np.zeros((nrows, width))
+                mat_c[seg, col] = sorted_charges
+                mat_u[seg, col] = sorted_w
+                cum_c = np.cumsum(mat_c, axis=1)
+                cum_u = np.cumsum(mat_u, axis=1)
+                rows_idx = np.arange(nrows)
+                last = lengths - 1
+                # Drop walk: remove the largest charge/utility entries
+                # one subtraction at a time — column s of the accumulate
+                # is the scalar loop's running total after s removals.
+                drop_c = np.zeros((nrows, width + 1))
+                drop_u = np.zeros((nrows, width + 1))
+                drop_c[:, 0] = server_charge + cum_c[rows_idx, last]
+                drop_u[:, 0] = cum_u[rows_idx, last]
+                step_col = lengths[seg] - col
+                drop_c[seg, step_col] = sorted_charges
+                drop_u[seg, step_col] = sorted_w
+                tc = np.subtract.accumulate(drop_c, axis=1)
+                tu = np.subtract.accumulate(drop_u, axis=1)
+                # The scalar loop stops when the condition TC > TU turns
+                # false (NaN included) or everyone has been dropped.
+                stop = ~(tc > tu)
+            stop |= np.arange(width + 1)[None, :] >= lengths[:, None]
+            keep[nz] = lengths - stop.argmax(axis=1)
+
+        answers: "list[np.ndarray]" = []
+        for position in range(total):
+            k = int(ks_arr[position])
+            stream_id = idx.stream_ids[k]
+            if stream_id in self._offered:
+                raise ValidationError(f"stream {stream_id!r} is already active")
+            if keep[position] == 0:
+                self._reject(stream_id)
+                answers.append(empty)
+                continue
+            # First offer that selects users: recompute + commit through
+            # the scalar path (state untouched by the rejects above, so
+            # the floats are identical), then end the prefix — a commit
+            # moves the charges every later decision depends on.
+            answers.append(self.offer_indexed(k))
+            break
+        return answers
+
     def _hard_guard(
         self, k: int, selected_users: np.ndarray, selected_pairs: np.ndarray
     ):

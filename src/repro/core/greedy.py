@@ -186,18 +186,22 @@ def greedy(
         Optional budget override (used by resource-augmentation
         experiments); defaults to ``B_1``.
     engine:
-        ``"indexed"`` (default) runs the vectorized kernel of
-        :mod:`repro.core.indexed`; ``"dict"`` runs the original
-        string-keyed implementation.  Both produce bit-identical traces;
-        the default may be overridden with ``$REPRO_ENGINE``.
+        ``"indexed"`` (default) runs the vectorized single-pick kernel
+        of :mod:`repro.core.indexed`; ``"batched"`` runs the multi-pick
+        round kernel of :mod:`repro.core.batched`; ``"numba"`` runs the
+        JIT-compiled single-pick loop (requires the optional ``numba``
+        extra); ``"dict"`` runs the original string-keyed
+        implementation.  All engines produce bit-identical traces; the
+        default may be overridden with ``$REPRO_ENGINE``.
 
     Returns a :class:`GreedyTrace` whose assignment is semi-feasible:
     the server budget holds, and each user may exceed his utility cap
     only by his final stream (utility is counted capped).
     """
     _require_single_budget(instance)
-    if resolve_engine(engine) == "indexed":
-        return _greedy_indexed(instance, initial_streams, budget)
+    resolved = resolve_engine(engine)
+    if resolved != "dict":
+        return _greedy_indexed(instance, initial_streams, budget, resolved)
     cap = instance.budgets[0] if budget is None else budget
     state = _GreedyState(instance)
     assignment = Assignment(instance)
@@ -235,8 +239,13 @@ def _greedy_indexed(
     instance: MMDInstance,
     initial_streams: "tuple[str, ...]",
     budget: "float | None",
+    engine: str = "indexed",
 ) -> GreedyTrace:
-    """Vectorized Greedy: lower once, run the CSR kernel, lift the trace."""
+    """Vectorized Greedy: lower once, run a CSR kernel, lift the trace.
+
+    All array-native engines share this lowering; ``engine`` picks the
+    kernel (single-pick, multi-pick batched, or JIT-compiled).
+    """
     cap = instance.budgets[0] if budget is None else budget
     idx = index_instance(instance)
     initial: "list[int]" = []
@@ -246,7 +255,17 @@ def _greedy_indexed(
             raise ValidationError(f"initial stream {sid!r} unknown or repeated")
         seen.add(sid)
         initial.append(idx.stream_index[sid])
-    order, rejected, total_cost = greedy_kernel(idx, cap, initial)
+    if engine == "batched":
+        from repro.core.batched import greedy_kernel_batched
+
+        kernel = greedy_kernel_batched
+    elif engine == "numba":
+        from repro.core.batched import greedy_kernel_numba
+
+        kernel = greedy_kernel_numba
+    else:
+        kernel = greedy_kernel
+    order, rejected, total_cost = kernel(idx, cap, initial)
     assignment = Assignment(instance)
     trace = GreedyTrace(assignment)
     for k, receivers in order:
@@ -322,7 +341,7 @@ def best_single_stream_assignment(
     Always feasible at the server (the paper assumes ``c_i(S) <= B_i``).
     """
     _require_single_budget(instance)
-    if resolve_engine(engine) == "indexed":
+    if resolve_engine(engine) != "dict":
         idx = index_instance(instance)
         k, best_value = best_single_stream_kernel(idx, lexicographic_ties=True)
         a = Assignment(instance)

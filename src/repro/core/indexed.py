@@ -576,10 +576,15 @@ def best_single_stream_kernel(
     """``argmax_S Σ_u min(w_u(S), W_u)`` with the dict tie-break.
 
     ``lexicographic_ties=True`` resolves equal values to the smallest
-    stream id (:func:`repro.core.greedy.best_single_stream_assignment`);
-    ``False`` keeps the first stream in instance order
-    (:func:`repro.core.solver.best_single_stream_mmd`).  Returns
-    ``(-1, 0.0)`` for an empty catalog.
+    stream id (:func:`repro.core.greedy.best_single_stream_assignment`,
+    whose dict loop accepts an equal value only when the id is
+    smaller); ``False`` uses ``values.argmax()``, which keeps the
+    *first occurrence* — the first stream in instance order, matching
+    :func:`repro.core.solver.best_single_stream_mmd`'s dict loop whose
+    strictly-greater test never replaces an earlier tied stream.  The
+    two rules genuinely differ whenever instance order is not id order
+    (see ``test_best_single_stream_tie_breaks``).  Returns ``(-1,
+    0.0)`` for an empty catalog.
     """
     num_streams = idx.num_streams
     if num_streams == 0:

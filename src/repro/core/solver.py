@@ -132,7 +132,7 @@ def greedy_fill(
     preserved.  (This is the practical refinement that lets the pipeline
     dominate the threshold baseline instead of merely bounding it.)
     """
-    if resolve_engine(engine) == "indexed":
+    if resolve_engine(engine) != "dict":
         return _greedy_fill_indexed(instance, assignment)
     a = assignment.copy()
     server_used = list(a.server_costs())
@@ -242,7 +242,7 @@ def best_single_stream_mmd(
     Feasible for any instance: ``c_i(S) <= B_i`` and single-stream user
     loads respect capacities by the instance's validation invariants.
     """
-    if resolve_engine(engine) == "indexed":
+    if resolve_engine(engine) != "dict":
         idx = index_instance(instance)
         k, best_value = best_single_stream_kernel(idx, lexicographic_ties=False)
         a = Assignment(instance)

@@ -278,9 +278,22 @@ class IndexedVideoSim:
             return  # already multicast; no new decision
         self.offered += 1
         receivers = np.asarray(self.policy.on_offer_indexed(k, view), dtype=np.int64)
+        self._admit(position, k, now, receivers)
+
+    def _admit(
+        self, position: int, k: int, now: float, receivers: np.ndarray
+    ) -> bool:
+        """Commit one policy answer; returns whether sim state changed.
+
+        Everything after the policy call of :meth:`_on_arrival`, split
+        out so the batched replay kernel can apply precomputed group
+        answers (:class:`~repro.sim.kernel.BatchedVideoSim`) through the
+        exact same guard + accounting sequence.
+        """
+        view = self.view
         users, pairs = self._clip_to_feasible(k, receivers)
         if users.size == 0:
-            return
+            return False
         self.admitted += 1
         self.deliveries += int(users.size)
         idx = self.idx
@@ -296,6 +309,7 @@ class IndexedVideoSim:
         # cumsum accumulates sequentially — the dict loop's exact sum.
         self._utility_rate.add(now, float(np.cumsum(weights)[-1]))
         self._sessions[position] = (users, pairs, weights)
+        return True
 
     def _on_departure(self, position: int, k: int, now: float) -> None:
         session = self._sessions.pop(position, None)

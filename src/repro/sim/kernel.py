@@ -173,3 +173,334 @@ class ChunkedVideoSim(IndexedVideoSim):
                 position = int(sorter[lo])
                 arrival_time = float(times[position])
                 push(heap, (arrival_time, _ARRIVAL, arrival_time, position, k))
+
+
+#: Batched-replay group sizing: first group width, then adaptive
+#: between :data:`_MIN_GROUP` and :data:`_MAX_GROUP` (grow ×2 after a
+#: fully consumed admit-free group, shrink toward the consumed prefix
+#: when an admit cuts a group short).
+_INITIAL_GROUP = 16
+_MIN_GROUP = 4
+_MAX_GROUP = 1024
+
+
+class BatchedVideoSim(ChunkedVideoSim):
+    """Chunked replay with batched policy decisions (``engine="batched"``).
+
+    The chunked kernel already touches Python only at decision points,
+    but still answers them one at a time — one
+    :meth:`~repro.sim.policies.AdmissionPolicy.on_offer_indexed` call
+    per decision.  On rejection-heavy traces those decisions come in
+    long departure-free runs, and until one of them *admits*, nothing
+    any of them can observe changes: rejections mutate no resource
+    state.  This driver therefore pops maximal groups of consecutive
+    arrivals off the heap and answers each group with a single
+    :meth:`~repro.sim.policies.AdmissionPolicy.on_offer_batch` call,
+    consuming the answers in replay order through the per-event engines'
+    own admission path (:meth:`~repro.sim.indexed.IndexedVideoSim._admit`)
+    and stopping the group at its first admit — the remaining arrivals
+    are pushed back and re-grouped against the post-admit state.
+
+    Two invariants make the grouping exact rather than approximate:
+
+    - group members have **distinct, inactive** streams (the heap holds
+      one candidate arrival per stream, and an admitted stream's next
+      candidate always lies beyond its departure), so the group answers
+      are independent of each other until an admit;
+    - a member is only added while its event key precedes every already
+      popped member's *successor* arrival — a rejection pushes that
+      successor, and it must not be able to overtake any arrival the
+      batch has already answered — so consumption order equals the
+      sequential replay order even for stateful policies (RNG draws,
+      allocator charges).
+
+    Policies that declare
+    :attr:`~repro.sim.policies.AdmissionPolicy.batch_order_free` (their
+    answers are pure functions of the resource state) get a stronger
+    driver: the successor cut is unnecessary because call order among
+    rejections is unobservable, and one group's answers stay valid for
+    *every* later arrival of the same streams until state changes —
+    rejections mutate nothing, so a rejected stream's repeat arrival
+    provably gets the same empty answer.  The group's answers therefore
+    become a decision map that replays whole rejection runs in exact
+    event order with no policy calls at all, stopping at the first
+    admit, live departure, or unmapped stream.
+
+    Reports stay bit-identical to every other engine on a common trace
+    (``tests/test_sim_indexed.py`` asserts ``==``); the group width
+    adapts to the trace's admit density.
+    ``benchmarks/bench_e16_batched.py`` asserts the ≥ 3× floor over the
+    chunked engine on a decision-heavy 10⁶-event trace.
+    """
+
+    def _replay_chunked(
+        self,
+        times: np.ndarray,
+        streams: np.ndarray,
+        departures: np.ndarray,
+        horizon: float,
+    ) -> None:
+        """Group-decision driver over the implicit replay order."""
+        num_streams = self.idx.num_streams
+        if times.shape[0] < 2 or bool(np.all(times[1:] >= times[:-1])):
+            sorter = np.argsort(streams, kind="stable")
+        else:
+            sorter = np.lexsort((times, streams))
+        times_by_stream = times[sorter]
+        indptr = np.zeros(num_streams + 1, dtype=np.int64)
+        np.cumsum(np.bincount(streams, minlength=num_streams), out=indptr[1:])
+
+        heads = np.flatnonzero(np.diff(indptr) > 0)
+        head_positions = sorter[indptr[heads]]
+        head_times = times[head_positions].tolist()
+        heap = list(
+            zip(
+                head_times,
+                (_ARRIVAL,) * heads.shape[0],
+                head_times,
+                head_positions.tolist(),
+                heads.tolist(),
+            )
+        )
+        heapq.heapify(heap)
+        cursor = indptr[:-1].tolist()
+        bounds = indptr[1:].tolist()
+        if self.policy.batch_order_free:
+            return self._drive_order_free(
+                times, streams, departures, horizon,
+                sorter, times_by_stream, heap, cursor, bounds,
+            )
+        push, pop = heapq.heappush, heapq.heappop
+        active = self.view.active_mask
+        on_departure = self._on_departure
+        on_offer_batch = self.policy.on_offer_batch
+        group_cap = _INITIAL_GROUP
+
+        def successor_key(k: int):
+            """Heap key of stream ``k``'s next arrival after its current
+            candidate (the entry a rejection of the candidate pushes)."""
+            nxt = cursor[k] + 1
+            if nxt >= bounds[k]:
+                return None
+            t = float(times_by_stream[nxt])
+            return (t, _ARRIVAL, t, int(sorter[nxt]), k)
+
+        while heap:
+            entry = pop(heap)
+            if entry[1]:
+                on_departure(entry[3], int(streams[entry[3]]), entry[0])
+                continue
+            # Form the arrival group: consecutive heap arrivals, cut
+            # before any member's successor could overtake the batch.
+            group = [entry]
+            limit = successor_key(entry[4])
+            while len(group) < group_cap and heap:
+                top = heap[0]
+                if top[1] or (limit is not None and not (top < limit)):
+                    break
+                member = pop(heap)
+                group.append(member)
+                succ = successor_key(member[4])
+                if succ is not None and (limit is None or succ < limit):
+                    limit = succ
+
+            ks = np.fromiter(
+                (e[4] for e in group), dtype=np.int64, count=len(group)
+            )
+            answers = on_offer_batch(ks, self.view)
+            consumed = 0
+            changed = False
+            for member, answer in zip(group, answers):
+                time, _kind, _scheduled, position, k = member
+                consumed += 1
+                self.offered += 1
+                changed = self._admit(
+                    position, k, time, np.asarray(answer, dtype=np.int64)
+                )
+                lo = cursor[k] + 1
+                hi = bounds[k]
+                if active[k]:
+                    departure_time = float(departures[position])
+                    if departure_time <= horizon:
+                        push(heap, (departure_time, _DEPARTURE, time, position, -1))
+                        lo += int(
+                            np.searchsorted(
+                                times_by_stream[lo:hi], departure_time, side="right"
+                            )
+                        )
+                    else:  # departs beyond the horizon: carried to the end
+                        lo = hi
+                cursor[k] = lo
+                if lo < hi:
+                    position = int(sorter[lo])
+                    arrival_time = float(times[position])
+                    push(heap, (arrival_time, _ARRIVAL, arrival_time, position, k))
+                if changed:
+                    break  # answers past an admit were precomputed blind
+            for member in group[consumed:]:
+                push(heap, member)
+            if changed:
+                group_cap = max(_MIN_GROUP, min(group_cap, 2 * consumed))
+            elif consumed == len(group):
+                group_cap = min(group_cap * 2, _MAX_GROUP)
+
+    def _drive_order_free(
+        self,
+        times: np.ndarray,
+        streams: np.ndarray,
+        departures: np.ndarray,
+        horizon: float,
+        sorter: np.ndarray,
+        times_by_stream: np.ndarray,
+        heap: list,
+        cursor: list,
+        bounds: list,
+    ) -> None:
+        """Decision-map driver for ``batch_order_free`` policies.
+
+        One batched answer per *state epoch*: between state changes the
+        policy's answers depend only on the (unchanging) resource state,
+        so the group's answers form a map ``stream -> answer`` that also
+        decides every repeat arrival of the same streams.  Events still
+        leave the heap in exact replay order; the map merely replaces
+        per-arrival policy calls, so rejection runs replay with no
+        policy work at all.  The epoch ends at the first admit or live
+        departure (state changes) or at an unmapped stream (the next
+        group answers it first).
+        """
+        push, pop = heapq.heappush, heapq.heappop
+        on_departure = self._on_departure
+        on_offer_batch = self.policy.on_offer_batch
+        admit = self._admit
+        # The hot (auto-reject) path below runs once per trace event with
+        # no numpy state to read, so index plain Python lists.
+        sorter_list = sorter.tolist()
+        times_list = times.tolist()
+        empty = ()  # sentinel: mapped-and-rejected (None = unmapped)
+        group_cap = _INITIAL_GROUP
+        while heap:
+            top = heap[0]
+            if top[1]:
+                pop(heap)
+                on_departure(top[3], int(streams[top[3]]), top[0])
+                continue
+            # Answer the distinct pending streams in one policy call.
+            group = [pop(heap)]
+            while len(group) < group_cap and heap and not heap[0][1]:
+                group.append(pop(heap))
+            ks = np.fromiter(
+                (e[4] for e in group), dtype=np.int64, count=len(group)
+            )
+            answers = on_offer_batch(ks, self.view)
+            if (
+                (not heap or heap[0][1])
+                and len(answers) == len(group)
+                and all(len(a) == 0 for a in answers)
+            ):
+                # All-reject fast path: the group covered *every* pending
+                # arrival (formation stopped at a departure or drained
+                # the heap) and rejected them all, so every arrival up to
+                # the next departure — which sorts after same-instant
+                # arrivals — is an identical rejection.  Jump each
+                # stream's cursor there with one searchsorted; no heap
+                # traffic, no per-event work.
+                limit_time = heap[0][0] if heap else None
+                offered = 0
+                for member in group:
+                    k = member[4]
+                    lo, hi = cursor[k], bounds[k]
+                    if limit_time is None:
+                        jump = hi
+                    else:
+                        jump = lo + int(
+                            np.searchsorted(
+                                times_by_stream[lo:hi],
+                                limit_time,
+                                side="right",
+                            )
+                        )
+                    offered += jump - lo
+                    cursor[k] = jump
+                    if jump < hi:
+                        position = sorter_list[jump]
+                        arrival_time = times_list[position]
+                        push(
+                            heap,
+                            (arrival_time, _ARRIVAL, arrival_time,
+                             position, k),
+                        )
+                self.offered += offered
+                continue
+            decisions = {
+                e[4]: np.asarray(a, dtype=np.int64) if len(a) else empty
+                for e, a in zip(group, answers)
+            }
+            for member in group:  # the map drives them back out in order
+                push(heap, member)
+            reason = "drained"
+            offered = 0
+            while heap:
+                top = heap[0]
+                if top[1]:
+                    reason = "departure"  # state epoch ends regardless
+                    break
+                answer = decisions.get(top[4])
+                if answer is None:
+                    reason = "unmapped"  # next group answers it first
+                    break
+                entry = pop(heap)
+                k = entry[4]
+                offered += 1
+                if answer is empty:
+                    # Rejections commit nothing and touch no counter:
+                    # advance straight to the stream's next arrival (the
+                    # hot case — every repeat of a rejected stream).
+                    lo = cursor[k] + 1
+                    cursor[k] = lo
+                    if lo < bounds[k]:
+                        position = sorter_list[lo]
+                        arrival_time = times_list[position]
+                        push(
+                            heap,
+                            (arrival_time, _ARRIVAL, arrival_time,
+                             position, k),
+                        )
+                    continue
+                time, position = entry[0], entry[3]
+                changed = admit(position, k, time, answer)
+                lo = cursor[k] + 1
+                hi = bounds[k]
+                if changed:  # a popped candidate's stream was inactive,
+                    # so the stream is active now iff this admit took
+                    departure_time = float(departures[position])
+                    if departure_time <= horizon:
+                        push(
+                            heap,
+                            (departure_time, _DEPARTURE, time, position, -1),
+                        )
+                        lo += int(
+                            np.searchsorted(
+                                times_by_stream[lo:hi],
+                                departure_time,
+                                side="right",
+                            )
+                        )
+                    else:  # departs beyond the horizon: carried to the end
+                        lo = hi
+                cursor[k] = lo
+                if lo < hi:
+                    position = sorter_list[lo]
+                    arrival_time = times_list[position]
+                    push(
+                        heap,
+                        (arrival_time, _ARRIVAL, arrival_time, position, k),
+                    )
+                if changed:
+                    reason = "admit"  # post-admit answers would be stale
+                    break
+            self.offered += offered
+            if reason == "unmapped":
+                # A wider group would have answered that stream already.
+                group_cap = min(group_cap * 2, _MAX_GROUP)
+            elif reason == "admit":
+                group_cap = max(_MIN_GROUP, group_cap // 2)

@@ -31,7 +31,12 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.core.allocate import OnlineAllocator
-from repro.core.indexed import IndexedInstance, ensure_indexed, index_instance
+from repro.core.indexed import (
+    IndexedInstance,
+    _concat_ranges,
+    ensure_indexed,
+    index_instance,
+)
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.util.rng import ensure_rng
 
@@ -182,6 +187,25 @@ class ResourceView:
                 return False
         return True
 
+    def fits_server_many(self, ks: np.ndarray, margin: float = 1.0) -> np.ndarray:
+        """Vectorized :meth:`fits_server_index` over a stream-index batch.
+
+        Same per-measure float expression as the scalar probe (scalar
+        used + cost column, compared against the scalar margin product),
+        so the mask equals one scalar call per stream exactly.
+        """
+        idx = self.indexed
+        ok = np.ones(ks.shape[0], dtype=bool)
+        for i in range(idx.m):
+            budget = idx.budgets[i]
+            if math.isinf(budget):
+                continue
+            ok &= ~(
+                self.server_used[i] + idx.stream_costs[ks, i]
+                > margin * budget * (1 + FEASIBILITY_RTOL)
+            )
+        return ok
+
     def interested_row(self, k: int) -> np.ndarray:
         """Stream ``k``'s interested users (ascending user indices)."""
         idx = self.indexed
@@ -212,6 +236,16 @@ class AdmissionPolicy(ABC):
 
     name = "policy"
 
+    #: True for policies whose answers are pure functions of the current
+    #: resource state — no RNG, no per-offer memory, no observable call
+    #: order.  The batched replay engine exploits this: between state
+    #: changes a rejected stream's repeat arrivals provably get the same
+    #: (empty) answer, so whole rejection runs are replayed from one
+    #: batched answer without further policy calls.  Leave False (the
+    #: default) for stateful or randomized policies; a wrong True breaks
+    #: cross-engine report parity.
+    batch_order_free = False
+
     def bind(self, instance: MMDInstance) -> None:
         """Called once before the run with the full instance (catalog
         known, arrival order unknown — the §5 online model)."""
@@ -238,6 +272,35 @@ class AdmissionPolicy(ABC):
         user_index = idx.user_index
         return np.array([user_index[uid] for uid in receivers], dtype=np.int64)
 
+    def on_offer_batch(
+        self, ks: np.ndarray, view: ResourceView
+    ) -> "list[np.ndarray]":
+        """Answer a group of arrivals at once; used by ``engine="batched"``.
+
+        The batched replay kernel guarantees the group's streams are
+        distinct, inactive, and separated by no departure, and that the
+        answers' effects cannot interact until one is *admitted*.
+        Returns receiver arrays for a **prefix** of ``ks`` (at least one
+        entry when ``ks`` is nonempty); the caller consumes them in
+        order and, as soon as one changes simulator state, discards the
+        rest and re-offers the unconsumed arrivals.
+
+        The default implementation answers sequentially through
+        :meth:`on_offer_indexed` and stops after its first nonempty
+        answer, so stateful policies (RNG draws, allocator charges) and
+        third-party string-id policies consume offers in the exact
+        order and count the per-event engines would — every answer it
+        computes is always consumed.  Stateless built-ins override this
+        with fully vectorized group answers.
+        """
+        answers: "list[np.ndarray]" = []
+        for k in ks:
+            answer = self.on_offer_indexed(int(k), view)
+            answers.append(answer)
+            if len(answer):
+                break
+        return answers
+
     def on_release(self, stream_id: str) -> None:
         """Called when an admitted session departs."""
 
@@ -246,10 +309,43 @@ class AdmissionPolicy(ABC):
         self.on_release(view.indexed.stream_ids[k])
 
 
+def _batch_row_answers(
+    view: ResourceView, ks: np.ndarray, server_ok: np.ndarray, margin: float
+) -> "list[np.ndarray]":
+    """Vectorized ``interested_row[row_fit_mask]`` answers for a group.
+
+    One concatenated :meth:`ResourceView.fits_pairs` call over every
+    server-fitting stream's interest row replaces the per-stream calls;
+    the per-measure checks are elementwise, so each split answer equals
+    the scalar path's floats exactly.
+    """
+    idx = view.indexed
+    answers: "list[np.ndarray]" = [EMPTY_USERS] * len(ks)
+    fitting = np.flatnonzero(server_ok)
+    if fitting.size == 0:
+        return answers
+    starts = idx.s_indptr[ks[fitting]]
+    counts = idx.s_indptr[ks[fitting] + 1] - starts
+    nz = counts > 0
+    if not nz.any():
+        return answers
+    pairs = _concat_ranges(starts[nz], counts[nz])
+    users = idx.s_user[pairs]
+    ok = view.fits_pairs(users, pairs, margin)
+    boundaries = np.cumsum(counts[nz])[:-1]
+    for position, users_k, ok_k in zip(
+        fitting[nz], np.split(users, boundaries), np.split(ok, boundaries)
+    ):
+        answers[int(position)] = users_k[ok_k]
+    return answers
+
+
 class ThresholdPolicy(AdmissionPolicy):
     """The paper-motivating baseline: admit within safety margins,
     deliver to every interested user whose margins fit; first come,
     first served, utility-blind."""
+
+    batch_order_free = True  # pure function of the resource state
 
     def __init__(self, margin: float = 1.0) -> None:
         self.margin = margin
@@ -272,6 +368,14 @@ class ThresholdPolicy(AdmissionPolicy):
         if not view.fits_server_index(k, self.margin):
             return EMPTY_USERS
         return view.interested_row(k)[view.row_fit_mask(k, self.margin)]
+
+    def on_offer_batch(
+        self, ks: np.ndarray, view: ResourceView
+    ) -> "list[np.ndarray]":
+        # Stateless rule: answer the whole group in one vectorized pass.
+        return _batch_row_answers(
+            view, ks, view.fits_server_many(ks, self.margin), self.margin
+        )
 
 
 class AllocatePolicy(AdmissionPolicy):
@@ -299,6 +403,12 @@ class AllocatePolicy(AdmissionPolicy):
         assert self._allocator is not None, "bind() was not called"
         return self._allocator.offer_indexed(k)
 
+    def on_offer_batch(
+        self, ks: np.ndarray, view: ResourceView
+    ) -> "list[np.ndarray]":
+        assert self._allocator is not None, "bind() was not called"
+        return self._allocator.offer_batch(ks)
+
     def on_release(self, stream_id: str) -> None:
         assert self._allocator is not None
         self._allocator.release(stream_id)
@@ -312,6 +422,8 @@ class DensityPolicy(AdmissionPolicy):
     """Admit streams whose static density ``w(S)/c(S)`` is in the top
     ``quantile`` of the catalog and that currently fit; utility-aware
     but state-blind (no exponential costs, no residual utilities)."""
+
+    batch_order_free = True  # static densities + current resource state
 
     def __init__(self, quantile: float = 0.5) -> None:
         if not 0.0 <= quantile <= 1.0:
@@ -356,6 +468,15 @@ class DensityPolicy(AdmissionPolicy):
         if not view.fits_server_index(k):
             return EMPTY_USERS
         return view.interested_row(k)[view.row_fit_mask(k)]
+
+    def on_offer_batch(
+        self, ks: np.ndarray, view: ResourceView
+    ) -> "list[np.ndarray]":
+        # ~(d < cutoff), not >=: keeps the scalar path's exact NaN
+        # behaviour should a density ever be non-finite.
+        ok = ~(self._densities[ks] < self._cutoff)
+        ok &= view.fits_server_many(ks)
+        return _batch_row_answers(view, ks, ok, 1.0)
 
 
 class RandomPolicy(AdmissionPolicy):

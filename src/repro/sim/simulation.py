@@ -25,7 +25,11 @@ Three replay engines implement the identical semantics:
 - ``engine="chunked"`` — :class:`repro.sim.kernel.ChunkedVideoSim`,
   the chunked event-dispatch kernel for 10⁶-event traces: no-decision
   event runs are skipped wholesale, Python fires only at policy
-  decisions and live departures, and reports stay float-identical.
+  decisions and live departures, and reports stay float-identical;
+- ``engine="batched"`` — :class:`repro.sim.kernel.BatchedVideoSim`,
+  the chunked kernel with batched policy decisions: departure-free
+  arrival groups are answered by one vectorized ``on_offer_batch``
+  call, still float-identical.
 
 :func:`simulate_trace` and :func:`compare_policies` are the
 engine-dispatching front doors; :func:`compare_policies` additionally
@@ -331,8 +335,11 @@ def simulate_trace(
     The engine-dispatching front door: ``engine="indexed"`` (default)
     runs :class:`repro.sim.indexed.IndexedVideoSim`,
     ``engine="chunked"`` the decision-point kernel
-    :class:`repro.sim.kernel.ChunkedVideoSim`, ``engine="dict"`` the
-    original :class:`VideoDistributionSim`; all accept either trace
+    :class:`repro.sim.kernel.ChunkedVideoSim`, ``engine="batched"``
+    the group-decision kernel :class:`repro.sim.kernel.BatchedVideoSim`
+    (chunked replay answering arrival groups through the policies'
+    vectorized ``on_offer_batch``), ``engine="dict"`` the original
+    :class:`VideoDistributionSim`; all accept either trace
     representation and produce identical reports on the same trace.
     """
     engine = resolve_sim_engine(engine)
@@ -340,6 +347,10 @@ def simulate_trace(
         from repro.sim.kernel import ChunkedVideoSim
 
         return ChunkedVideoSim(instance, policy).run_trace(trace, horizon)
+    if engine == "batched":
+        from repro.sim.kernel import BatchedVideoSim
+
+        return BatchedVideoSim(instance, policy).run_trace(trace, horizon)
     if engine == "indexed":
         return IndexedVideoSim(instance, policy).run_trace(trace, horizon)
     return VideoDistributionSim(instance, policy).run_trace(trace, horizon)

@@ -200,3 +200,26 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "threshold" in out
         assert "density" in out
+
+
+class TestEngineErrors:
+    def test_unknown_env_engine_exits_cleanly(
+        self, instance_file, capsys, monkeypatch
+    ):
+        """A bogus ``$REPRO_ENGINE`` must exit with code 2 and a one-line
+        message naming the choices — never a traceback."""
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        assert main(["solve", str(instance_file)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "'bogus'" in err
+        assert "batched" in err
+        assert "Traceback" not in err
+
+    def test_unknown_env_sim_engine_exits_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "turbo")
+        code = main(["simulate", "--policies", "threshold", "--horizon", "5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'turbo'" in err
+        assert "chunked" in err

@@ -4,8 +4,9 @@ CI additionally runs ``ruff check --select D1`` over these files; this
 AST-based check enforces the same "no missing docstrings" rule without
 needing ruff installed, so the tier-1 suite catches regressions too.
 Scope (per the PR-2 docs pass, extended by the PR-4 orchestration
-layer and the PR-5 chunked kernel): ``repro.core.indexed``, every
-module of ``repro.instances``, ``repro.config``, every module of
+layer, the PR-5 chunked kernel and the PR-6 batched core):
+``repro.core.indexed``, ``repro.core.batched``, every module of
+``repro.instances``, ``repro.config``, every module of
 ``repro.experiments`` and ``repro.sim.kernel``.
 """
 
@@ -21,6 +22,7 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 CHECKED_FILES = sorted(
     [
         SRC / "core" / "indexed.py",
+        SRC / "core" / "batched.py",
         SRC / "config.py",
         SRC / "sim" / "kernel.py",
         *(SRC / "instances").glob("*.py"),

@@ -12,10 +12,12 @@ refactor touched: ``greedy``, ``greedy_feasible``,
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.assignment import Assignment
+from repro.core.batched import HAS_NUMBA
 from repro.core.greedy import (
     best_single_stream_assignment,
     greedy,
@@ -33,6 +35,11 @@ from repro.instances.generators import (
 #: not scale, and hypothesis runs many examples.
 SIZES = st.tuples(st.integers(2, 14), st.integers(1, 10))
 
+#: Every array-native solver engine; each must be bit-identical to the
+#: dict engine.  ``numba`` joins only where the optional extra is
+#: installed (the dedicated CI matrix leg).
+ARRAY_ENGINES = ["indexed", "batched"] + (["numba"] if HAS_NUMBA else [])
+
 
 def smd_families(seed: int, num_streams: int, num_users: int, skew: float):
     if skew <= 1.0:
@@ -40,12 +47,13 @@ def smd_families(seed: int, num_streams: int, num_users: int, skew: float):
     return random_smd(num_streams, num_users, skew, seed=seed)
 
 
+@pytest.mark.parametrize("engine", ARRAY_ENGINES)
 @settings(max_examples=40, deadline=None)
 @given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 2.0, 8.0, 64.0]))
-def test_greedy_trace_parity(seed, size, skew):
+def test_greedy_trace_parity(engine, seed, size, skew):
     instance = smd_families(seed, *size, skew)
     dict_trace = greedy(instance, engine="dict")
-    idx_trace = greedy(instance, engine="indexed")
+    idx_trace = greedy(instance, engine=engine)
     assert idx_trace.order == dict_trace.order
     assert idx_trace.rejected_for_budget == dict_trace.rejected_for_budget
     assert idx_trace.total_cost == dict_trace.total_cost
@@ -53,12 +61,13 @@ def test_greedy_trace_parity(seed, size, skew):
     assert idx_trace.assignment.utility() == dict_trace.assignment.utility()
 
 
+@pytest.mark.parametrize("engine", ARRAY_ENGINES)
 @settings(max_examples=30, deadline=None)
 @given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 4.0, 32.0]))
-def test_greedy_feasible_parity(seed, size, skew):
+def test_greedy_feasible_parity(engine, seed, size, skew):
     instance = smd_families(seed, *size, skew)
     dict_solution = greedy_feasible(instance, engine="dict")
-    idx_solution = greedy_feasible(instance, engine="indexed")
+    idx_solution = greedy_feasible(instance, engine=engine)
     assert idx_solution.as_dict() == dict_solution.as_dict()
     assert idx_solution.utility() == dict_solution.utility()
 
@@ -104,15 +113,40 @@ def test_greedy_fill_parity(seed, size, skew):
     assert idx_fill.utility() == dict_fill.utility()
 
 
+@pytest.mark.parametrize("engine", ARRAY_ENGINES)
 @settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 10_000), size=SIZES, skew=st.sampled_from([1.0, 4.0, 32.0]))
-def test_solve_mmd_parity_smd(seed, size, skew):
+def test_solve_mmd_parity_smd(engine, seed, size, skew):
     instance = smd_families(seed, *size, skew)
     dict_result = solve_mmd(instance, engine="dict")
-    idx_result = solve_mmd(instance, engine="indexed")
+    idx_result = solve_mmd(instance, engine=engine)
     assert idx_result.utility == dict_result.utility
     assert idx_result.method == dict_result.method
     assert idx_result.assignment.as_dict() == dict_result.assignment.as_dict()
+
+
+def test_best_single_stream_tie_breaks():
+    """Duplicated objective values where instance order differs from id
+    order: the assignment form resolves ties to the smallest stream id
+    (the dict loop's ``value == best and id <`` rule), while the MMD
+    form's ``values.argmax()`` keeps the *first in instance order* (the
+    dict loop's strictly-greater test never replaces an earlier tie)."""
+    import math
+
+    from repro.core.instance import MMDInstance, Stream, User
+
+    # "s9" precedes "s1" in instance order; both deliver value 2.0.
+    streams = [Stream("s9", (1.0,)), Stream("s1", (1.0,)), Stream("s5", (1.0,))]
+    users = [
+        User("u0", math.inf, (math.inf,), {"s9": 2.0, "s1": 2.0, "s5": 1.0},
+             {"s9": (0.0,), "s1": (0.0,), "s5": (0.0,)}),
+    ]
+    instance = MMDInstance(streams, users, (10.0,))
+    for engine in ["dict"] + ARRAY_ENGINES:
+        assignment = best_single_stream_assignment(instance, engine=engine)
+        assert assignment.as_dict() == {"u0": {"s1"}}, engine  # smallest id
+        mmd = best_single_stream_mmd(instance, engine=engine)
+        assert mmd.as_dict() == {"u0": {"s9"}}, engine  # first in order
 
 
 def test_greedy_fill_parity_with_zero_budget_measure():

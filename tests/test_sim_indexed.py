@@ -1,15 +1,16 @@
 """Parity suite for the array-native simulation engines.
 
-The indexed engine (:mod:`repro.sim.indexed`) and the chunked
-event-dispatch kernel (:mod:`repro.sim.kernel`) promise reports that
-are *float-identical* to the dict engine's on any common trace: same
-utility integral, same admits/deliveries/violations, same per-user
-utilities and server utilizations.  These hypothesis-driven tests
-replay the same dict-drawn trace under all three engines for every
-built-in policy and assert equality with ``==``, plus
-determinism-under-seed for the vectorized trace draw, horizon-boundary
-and tie-breaking agreement, and regression tests for the
-degenerate-input fixes.
+The indexed engine (:mod:`repro.sim.indexed`), the chunked
+event-dispatch kernel and the batched group-decision kernel
+(:mod:`repro.sim.kernel`) promise reports that are *float-identical*
+to the dict engine's on any common trace: same utility integral, same
+admits/deliveries/violations, same per-user utilities and server
+utilizations.  These hypothesis-driven tests replay the same
+dict-drawn trace under all four engines for every built-in policy and
+assert equality with ``==``, plus determinism-under-seed for the
+vectorized trace draw, horizon-boundary and tie-breaking agreement,
+adversarial arrival-grouping traces for the batched kernel, and
+regression tests for the degenerate-input fixes.
 """
 
 from __future__ import annotations
@@ -50,7 +51,7 @@ from repro.sim.simulation import (
 MODEL = ArrivalModel(rate=2.0, mean_duration=12.0)
 
 #: Every replay engine; reports must agree float-for-float across them.
-ENGINES = ("dict", "indexed", "chunked")
+ENGINES = ("dict", "indexed", "chunked", "batched")
 
 POLICY_FACTORIES = {
     "threshold": lambda: ThresholdPolicy(margin=1.0),
@@ -410,6 +411,114 @@ class TestHorizonAndTieParity:
         assert report.admitted == 2
 
 
+class TestBatchedGrouping:
+    """Adversarial arrival patterns for the batched kernel's grouping:
+    maximal groups (every decision rejects, so one batch answers long
+    runs), groups cut at every member (every decision admits), and
+    rejection successors that would overtake later group members if the
+    grouping ignored them."""
+
+    @staticmethod
+    def _instance(seed=4):
+        return iptv_neighborhood_workload(num_channels=6, num_households=3, seed=seed)
+
+    def test_all_reject_maximal_groups(self):
+        """A zero-margin threshold (or a zero-capacity plant) rejects
+        everything: the batched kernel forms maximal groups and must
+        still count every offer."""
+        instance = self._instance()
+        model = ArrivalModel(rate=20.0, mean_duration=3.0)
+        trace = draw_trace(instance, model, horizon=60.0, seed=2, engine="dict")
+        report = assert_engines_agree(
+            instance, lambda: ThresholdPolicy(margin=0.0), trace, 60.0
+        )
+        assert report.admitted == 0
+        assert report.offered > 0
+
+    def test_all_admit_cuts_every_group(self):
+        """Generous margins admit every decision, so each group is cut
+        at its first member; reports must still match exactly."""
+        instance = self._instance()
+        model = ArrivalModel(rate=20.0, mean_duration=0.05)
+        trace = draw_trace(instance, model, horizon=60.0, seed=3, engine="dict")
+        report = assert_engines_agree(
+            instance, lambda: ThresholdPolicy(margin=1.0), trace, 60.0
+        )
+        assert report.admitted > report.offered // 2
+
+    def test_rejection_successor_cannot_overtake_group(self):
+        """Stream a's arrivals at t=1 and t=1.5 with stream b at t=2: if
+        the batch naively grouped a@1 with b@2, a rejection of a@1 would
+        push a@1.5 *behind* an already-answered b@2, reordering the RNG
+        draws of a stateful policy.  The group limit must prevent that."""
+        instance = self._instance()
+        sids = instance.stream_ids()
+        trace = [
+            SessionEvent(time=1.0, stream_id=sids[0], duration=0.2),
+            SessionEvent(time=1.5, stream_id=sids[0], duration=0.2),
+            SessionEvent(time=2.0, stream_id=sids[1], duration=0.2),
+        ]
+        report = assert_engines_agree(
+            instance, lambda: RandomPolicy(p=0.5, seed=123), trace, 10.0
+        )
+        assert report.offered == 3
+
+    def test_offer_order_matches_sequential(self):
+        """A recording policy sees the offers in the same order under the
+        batched kernel as under the per-decision chunked kernel."""
+
+        class Recorder(AdmissionPolicy):
+            name = "recorder"
+
+            def __init__(self):
+                self.calls = []
+
+            def on_offer(self, stream_id, view):
+                self.calls.append(stream_id)
+                if not view.fits_server(stream_id):
+                    return []
+                return view.interested_users(stream_id)
+
+        instance = self._instance(seed=8)
+        model = ArrivalModel(rate=15.0, mean_duration=1.0)
+        trace = draw_trace(instance, model, horizon=80.0, seed=5, engine="dict")
+        sequential = Recorder()
+        batched = Recorder()
+        first = simulate_trace(instance, sequential, trace, 80.0, engine="chunked")
+        second = simulate_trace(instance, batched, trace, 80.0, engine="batched")
+        assert batched.calls == sequential.calls
+        assert_reports_identical(first, second)
+
+    def test_default_batch_stops_after_first_nonempty_answer(self):
+        """The base ``on_offer_batch`` answers a prefix and stops once an
+        answer is nonempty, so stateful policies never compute answers
+        that could be discarded."""
+        from repro.sim.policies import ResourceView
+
+        instance = self._instance()
+
+        class AdmitSecond(AdmissionPolicy):
+            name = "admit-second"
+
+            def __init__(self):
+                self.seen = []
+
+            def on_offer(self, stream_id, view):
+                self.seen.append(stream_id)
+                if len(self.seen) == 2:
+                    return view.interested_users(stream_id)
+                return []
+
+        policy = AdmitSecond()
+        idx = ensure_indexed(instance)
+        policy.bind_indexed(idx)
+        view = ResourceView(idx)
+        answers = policy.on_offer_batch(np.arange(4, dtype=np.int64), view)
+        assert len(answers) == 2  # stopped at the first nonempty answer
+        assert len(answers[0]) == 0 and len(answers[1]) > 0
+        assert len(policy.seen) == 2
+
+
 class TestMergedReplayOrder:
     def test_arrivals_precede_departures_at_ties(self):
         order = merged_replay_order(
@@ -450,7 +559,7 @@ class TestMergedReplayOrder:
         with pytest.raises(SimulationError, match="NaN"):
             simulate_trace(instance, ThresholdPolicy(), trace, 30.0, engine=engine)
 
-    @pytest.mark.parametrize("engine", ["indexed", "chunked"])
+    @pytest.mark.parametrize("engine", ["indexed", "chunked", "batched"])
     def test_nan_duration_rejected_by_array_engines(self, engine):
         from repro.exceptions import SimulationError
 
