@@ -386,17 +386,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             duration=args.duration,
             popularity=args.popularity,
             sim_engine=args.engine,
+            trace_store=args.trace_store,
+            store_window=args.window,
         ).validate()
     except SpecError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     run = run_experiment(spec, workers=args.parallel)
+    if args.trace_store is not None:
+        title = f"{args.workload} | store={args.trace_store} horizon={args.horizon}"
+    else:
+        title = (
+            f"{args.workload} | rate={args.rate} duration={args.duration} "
+            f"horizon={args.horizon}"
+        )
     # "violations" counts infeasible policy answers the simulator clipped
     # (SimulationReport.policy_violations): 0 for a well-behaved policy.
     table = Table(
         ["policy", "utility·time", "accept", "peak load", "violations", "fairness"],
-        title=f"{args.workload} | rate={args.rate} duration={args.duration} "
-        f"horizon={args.horizon}",
+        title=title,
     )
     for row in sorted(run.rows, key=lambda r: -r["utility_time"]):
         table.add_row(
@@ -417,6 +425,82 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             [row["utility_time"] for row in run.rows],
         )
     )
+    return 0
+
+
+def _workload_instance(args: argparse.Namespace):
+    """Build the named workload at the requested (or default) sizes."""
+    import inspect
+
+    factory = WORKLOADS[args.workload]
+    sizes = list(inspect.signature(factory).parameters.values())
+    num_streams = args.streams if args.streams is not None else sizes[0].default
+    num_users = args.users if args.users is not None else sizes[1].default
+    return factory(num_streams, num_users, seed=args.seed)
+
+
+def cmd_trace_write(args: argparse.Namespace) -> int:
+    """Write an arrival trace into an on-disk columnar store.
+
+    Default mode draws a fresh Poisson/Zipf trace for the workload
+    straight into the store in bounded chunks
+    (:func:`repro.sim.store.draw_trace_to_store` — peak memory stays a
+    few chunk-sized arrays however long the horizon).  ``--from-json``
+    instead converts a saved ``SessionEvent`` JSON trace
+    (:func:`repro.sim.trace.store_events`).
+    """
+    from repro.sim.simulation import ArrivalModel
+    from repro.sim.store import draw_trace_to_store
+
+    instance = _workload_instance(args)
+    if args.from_json:
+        from repro.sim.trace import load_trace, store_events
+
+        store = store_events(
+            instance,
+            load_trace(args.from_json),
+            args.path,
+            chunk=args.chunk,
+            meta={"workload": args.workload, "source": args.from_json},
+        )
+    else:
+        store = draw_trace_to_store(
+            instance,
+            ArrivalModel(
+                rate=args.rate,
+                mean_duration=args.duration,
+                popularity_exponent=args.popularity,
+            ),
+            args.horizon,
+            args.path,
+            seed=args.seed,
+            chunk=args.chunk,
+            meta={"workload": args.workload, "seed": args.seed},
+        )
+    print(_store_info_table(store).render())
+    return 0
+
+
+def _store_info_table(store) -> Table:
+    """The ``repro trace info`` table for one opened store."""
+    facts = store.info()
+    table = Table(["field", "value"], title=f"trace store {facts['path']}")
+    table.add_row(["rows", facts["rows"]])
+    table.add_row(["sorted", facts["sorted"]])
+    table.add_row(["repaired rows", facts["repaired_rows"]])
+    table.add_row(["data bytes", facts["data_bytes"]])
+    for name, column in sorted(facts["columns"].items()):
+        table.add_row([f"column {name}", f"{column['dtype']} ({column['bytes']} B)"])
+    for key, value in sorted(facts["meta"].items()):
+        table.add_row([f"meta {key}", value])
+    return table
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """Print a trace store's manifest and on-disk facts."""
+    from repro.sim.store import TraceStore
+
+    print(_store_info_table(TraceStore.open(args.path)).render())
     return 0
 
 
@@ -574,6 +658,8 @@ def cmd_simulate_many(args: argparse.Namespace) -> int:
                 duration=args.duration,
                 popularity=args.popularity,
                 sim_engine=args.engine,
+                trace_store=args.trace_store,
+                store_window=args.window,
             ).validate()
         shard = _parse_shard(args.shard)
     except SpecError as exc:
@@ -687,7 +773,53 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--parallel", "-j", type=int, default=1,
                      help="worker processes, one policy replay each "
                      "(1 = in-process)")
+    sim.add_argument("--trace-store", default=None, metavar="DIR",
+                     help="replay this on-disk columnar trace store (made by "
+                     "'repro trace write') instead of drawing a trace; "
+                     "incompatible with --rate/--duration/--popularity")
+    sim.add_argument("--window", type=float, default=None,
+                     help="stream the store in time windows of this width "
+                     "(bounded memory; float-identical to monolithic replay; "
+                     "$REPRO_STORE_WINDOW overrides; needs --trace-store)")
     sim.set_defaults(func=cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="write / inspect on-disk columnar trace stores",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_write = trace_sub.add_parser(
+        "write",
+        help="draw (or convert) an arrival trace into a columnar store",
+    )
+    trace_write.add_argument("path", help="store directory to create")
+    trace_write.add_argument("--workload", choices=sorted(WORKLOADS),
+                             default="iptv")
+    trace_write.add_argument("--streams", type=int, default=None,
+                             help="catalog size (default: the workload's own)")
+    trace_write.add_argument("--users", type=int, default=None,
+                             help="population size (default: the workload's own)")
+    trace_write.add_argument("--rate", type=float, default=2.0)
+    trace_write.add_argument("--duration", type=float, default=30.0)
+    trace_write.add_argument("--horizon", type=float, default=300.0)
+    trace_write.add_argument("--popularity", type=float, default=1.0,
+                             help="Zipf exponent of stream popularity "
+                             "(0 = uniform)")
+    trace_write.add_argument("--seed", type=int, default=0)
+    trace_write.add_argument("--chunk", type=int, default=None,
+                             help="draw/append chunk size in events — part of "
+                             "the determinism contract ($REPRO_STORE_CHUNK "
+                             "overrides)")
+    trace_write.add_argument("--from-json", default=None, metavar="FILE",
+                             help="convert a saved SessionEvent JSON trace "
+                             "instead of drawing one")
+    trace_write.set_defaults(func=cmd_trace_write)
+    trace_info = trace_sub.add_parser(
+        "info",
+        help="print a store's manifest and on-disk facts",
+    )
+    trace_info.add_argument("path", help="store directory")
+    trace_info.set_defaults(func=cmd_trace_info)
 
     def add_runner_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument("--shard", default=None, metavar="I/N",
@@ -751,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=ENGINE_SETTINGS["simulation"].choices,
                           default=None,
                           help="simulation engine ($REPRO_SIM_ENGINE overrides)")
+    sim_many.add_argument("--trace-store", default=None, metavar="DIR",
+                          help="shard one shared on-disk trace store across "
+                          "the grid instead of drawing per-cell traces")
+    sim_many.add_argument("--window", type=float, default=None,
+                          help="stream the store in time windows of this "
+                          "width (needs --trace-store)")
     add_runner_flags(sim_many)
     sim_many.set_defaults(func=cmd_simulate_many)
     return parser

@@ -37,6 +37,7 @@ old environment variable names are honored unchanged.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
 
@@ -94,6 +95,69 @@ ENGINE_SETTINGS: "dict[str, EngineSetting]" = {
         choices=("indexed", "dict", "chunked", "batched"),
     ),
 }
+
+
+#: Environment variable naming the default trace-store replay window
+#: (simulated time units per streamed window; unset = monolithic replay).
+STORE_WINDOW_ENV = "REPRO_STORE_WINDOW"
+
+#: Environment variable naming the default store-writer chunk size
+#: (events drawn/appended per batch by the bounded-memory writers).
+STORE_CHUNK_ENV = "REPRO_STORE_CHUNK"
+
+#: Events per append chunk when nothing overrides it: large enough that
+#: per-chunk numpy overhead vanishes, small enough that a draw holds a
+#: few MB of arrays rather than the whole trace.
+DEFAULT_STORE_CHUNK = 262_144
+
+
+def resolve_store_window(value: "float | None" = None) -> "float | None":
+    """Resolve the trace-store replay window (time units per window).
+
+    Precedence: explicit ``value`` > ``$REPRO_STORE_WINDOW`` > ``None``
+    (no windowing — the store replays monolithically).  A window must be
+    a positive finite number; anything else — including junk smuggled in
+    through the environment variable — raises
+    :class:`~repro.exceptions.ValidationError` loudly.
+    """
+    raw: "float | str | None" = value
+    if raw is None:
+        raw = os.environ.get(STORE_WINDOW_ENV)
+        if raw is None:
+            return None
+    try:
+        window = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad store window {raw!r}; need a positive number of time units"
+        ) from None
+    if not math.isfinite(window) or window <= 0:
+        raise ValidationError(
+            f"bad store window {window!r}; need a positive finite number"
+        )
+    return window
+
+
+def resolve_store_chunk(value: "int | None" = None) -> int:
+    """Resolve the store-writer chunk size (events per append batch).
+
+    Precedence: explicit ``value`` > ``$REPRO_STORE_CHUNK`` >
+    :data:`DEFAULT_STORE_CHUNK`.  Must be a positive integer.
+    """
+    raw: "int | str | None" = value
+    if raw is None:
+        raw = os.environ.get(STORE_CHUNK_ENV)
+        if raw is None:
+            return DEFAULT_STORE_CHUNK
+    try:
+        chunk = int(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad store chunk {raw!r}; need a positive integer event count"
+        ) from None
+    if chunk < 1:
+        raise ValidationError(f"store chunk must be >= 1, got {chunk}")
+    return chunk
 
 
 def resolve_engine_setting(

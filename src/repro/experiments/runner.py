@@ -208,7 +208,14 @@ _SIM_CELL_CACHE: "dict[tuple, tuple]" = {}
 
 
 def _sim_cell(spec: ScenarioSpec, unit: WorkUnit):
-    """The unit's cell: the workload instance and the common trace."""
+    """The unit's cell: the workload instance and the common trace.
+
+    A spec with ``trace_store`` replays one shared on-disk store
+    (opened zero-copy via mmap) instead of drawing a trace: every
+    policy/replicate unit — and every *shard worker* of a distributed
+    sweep — streams the same giant trace, which is how one 10⁸-event
+    workload fans out across processes in bounded memory.
+    """
     import inspect
 
     from repro.sim.indexed import draw_trace_arrays, resolve_sim_engine
@@ -218,6 +225,7 @@ def _sim_cell(spec: ScenarioSpec, unit: WorkUnit):
     key = (
         spec.family, unit.num_streams, unit.num_users, unit.seed,
         spec.horizon, spec.rate, spec.duration, spec.popularity, engine,
+        spec.trace_store,
     )
     cached = _SIM_CELL_CACHE.get(key)
     if cached is not None:
@@ -229,14 +237,23 @@ def _sim_cell(spec: ScenarioSpec, unit: WorkUnit):
     num_streams = unit.num_streams if unit.num_streams is not None else sizes[0].default
     num_users = unit.num_users if unit.num_users is not None else sizes[1].default
     instance = factory(num_streams, num_users, seed=unit.seed)
-    model = ArrivalModel(
-        rate=spec.rate,
-        mean_duration=spec.duration,
-        popularity_exponent=spec.popularity,
-    )
-    if engine != "dict":  # indexed and chunked share the array draw
+    if spec.trace_store is not None:
+        from repro.sim.store import TraceStore
+
+        trace = TraceStore.open(spec.trace_store)
+    elif engine != "dict":  # indexed and chunked share the array draw
+        model = ArrivalModel(
+            rate=spec.rate,
+            mean_duration=spec.duration,
+            popularity_exponent=spec.popularity,
+        )
         trace = draw_trace_arrays(instance, model, spec.horizon, unit.seed)
     else:
+        model = ArrivalModel(
+            rate=spec.rate,
+            mean_duration=spec.duration,
+            popularity_exponent=spec.popularity,
+        )
         trace = draw_trace(instance, model, spec.horizon, unit.seed, engine="dict")
     _SIM_CELL_CACHE.clear()
     _SIM_CELL_CACHE[key] = (instance, trace, engine)
@@ -248,19 +265,33 @@ def _execute_sim_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object]"
 
     The trace seed is the unit's *cell* seed (shared by every policy of
     the cell), so replays are common-random-number comparable exactly as
-    :func:`repro.sim.simulation.compare_policies` makes them.
+    :func:`repro.sim.simulation.compare_policies` makes them.  Store
+    replays go through :func:`repro.sim.simulation.simulate_store`, so
+    ``store_window`` streams the shared trace in bounded memory — with
+    reports float-identical to monolithic replay by the stitching
+    contract, keeping shard unions byte-identical regardless of window.
     """
-    from repro.sim.simulation import simulate_trace
+    from repro.sim.simulation import simulate_store, simulate_trace
 
     start = time.perf_counter()
     instance, trace, engine = _sim_cell(spec, unit)
-    report = simulate_trace(
-        instance,
-        _sim_policy(unit.policy, unit.seed),
-        trace,
-        spec.horizon,
-        engine=engine,
-    )
+    if spec.trace_store is not None:
+        report = simulate_store(
+            instance,
+            _sim_policy(unit.policy, unit.seed),
+            trace,
+            spec.horizon,
+            engine=engine,
+            window=spec.store_window,
+        )
+    else:
+        report = simulate_trace(
+            instance,
+            _sim_policy(unit.policy, unit.seed),
+            trace,
+            spec.horizon,
+            engine=engine,
+        )
     runtime = time.perf_counter() - start
     return {
         "unit": unit.index,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Iterator
@@ -148,6 +149,17 @@ class ScenarioSpec:
         axis; all policies of a cell share the cell's trace seed).
     horizon / rate / duration / popularity:
         Arrival model of a simulation spec.
+    trace_store:
+        Path to an on-disk columnar trace store
+        (:mod:`repro.sim.store`); every policy/replicate unit of the
+        spec replays this one shared store instead of drawing a trace,
+        so a sharded sweep streams one giant trace across workers.
+        The arrival-model fields (``rate``/``duration``/
+        ``popularity``) do not apply — the store *is* the workload.
+    store_window:
+        Streamed-replay window (time units) for ``trace_store`` units
+        under the chunked/batched engines; reports are float-identical
+        to monolithic replay, only peak memory changes.
     """
 
     name: str
@@ -170,6 +182,8 @@ class ScenarioSpec:
     rate: float = 2.0
     duration: float = 30.0
     popularity: float = 1.0
+    trace_store: "str | None" = None
+    store_window: "float | None" = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -226,6 +240,24 @@ class ScenarioSpec:
                 raise SpecError(f"unknown policies {unknown}; pick from {SIM_POLICIES}")
             if self.streams == () or self.users == ():
                 raise SpecError(f"spec {self.name!r} has an empty size axis")
+            if self.trace_store is not None:
+                for name, default in self._SIM_ONLY_DEFAULTS:
+                    if name != "horizon" and getattr(self, name) != default:
+                        raise SpecError(
+                            f"{name!r} does not apply when 'trace_store' "
+                            "replays a pre-drawn store (the store is the "
+                            "workload; only 'horizon' still cuts it off)"
+                        )
+            if self.store_window is not None:
+                if self.trace_store is None:
+                    raise SpecError(
+                        "'store_window' needs a 'trace_store' to stream"
+                    )
+                if not math.isfinite(self.store_window) or self.store_window <= 0:
+                    raise SpecError(
+                        f"'store_window' must be a positive finite number, "
+                        f"got {self.store_window!r}"
+                    )
         if self.method not in ("greedy", "enumeration"):
             raise SpecError(f"unknown method {self.method!r}")
         for field_name, kind in (
@@ -253,6 +285,11 @@ class ScenarioSpec:
                 raise SpecError("'policies' only applies to kind='simulate' specs")
             if self.sim_engine is not None:
                 raise SpecError("'sim_engine' only applies to kind='simulate' specs")
+            if self.trace_store is not None or self.store_window is not None:
+                raise SpecError(
+                    "'trace_store'/'store_window' only apply to "
+                    "kind='simulate' specs"
+                )
             for name, default in self._SIM_ONLY_DEFAULTS:
                 if getattr(self, name) != default:
                     raise SpecError(
@@ -424,6 +461,8 @@ _SCALAR_FIELDS = {
     "rate": float,
     "duration": float,
     "popularity": float,
+    "trace_store": str,
+    "store_window": float,
 }
 
 

@@ -25,6 +25,13 @@ compared in a dynamic setting with stream arrivals and departures.
   (``engine="chunked"``): skips no-decision event runs wholesale so
   10⁶-event traces replay in Python time proportional to the number of
   policy decisions, with float-identical reports.
+- :mod:`repro.sim.store` — the out-of-core columnar trace store:
+  append-friendly one-``.npy``-per-column writer with a torn-tail-safe
+  manifest, zero-copy mmap reopen behind the
+  :class:`~repro.sim.indexed.IndexedTrace` API, and windowed streaming
+  replay (:func:`~repro.sim.simulation.simulate_store`) that stitches
+  live sessions across window edges float-identically, so 10⁸-event
+  traces replay in bounded memory.
 - :mod:`repro.sim.metrics` — time-weighted statistics and reports.
 """
 
@@ -49,7 +56,14 @@ from repro.sim.simulation import (
     VideoDistributionSim,
     compare_policies,
     draw_trace,
+    simulate_store,
     simulate_trace,
+)
+from repro.sim.store import (
+    TraceStore,
+    TraceStoreWriter,
+    draw_trace_to_store,
+    write_trace,
 )
 
 __all__ = [
@@ -69,9 +83,14 @@ __all__ = [
     "IndexedTrace",
     "IndexedVideoSim",
     "ChunkedVideoSim",
+    "TraceStore",
+    "TraceStoreWriter",
     "draw_trace",
     "draw_trace_arrays",
+    "draw_trace_to_store",
+    "write_trace",
     "simulate_trace",
+    "simulate_store",
     "compare_policies",
     "resolve_sim_engine",
 ]

@@ -56,6 +56,23 @@ Select it per call (``engine="chunked"`` on
 the CLI) or globally via ``$REPRO_SIM_ENGINE``; the default engine
 stays ``indexed``.  ``benchmarks/bench_e15_kernel.py`` asserts the ≥ 5×
 floor over the per-event indexed engine at 10⁶ events.
+
+**Windowed replay of on-disk stores.**  Both kernels also replay a
+time-sorted :class:`~repro.sim.store.TraceStore` window by window
+(:meth:`ChunkedVideoSim.run_store`): the driver is parameterized over a
+``[w0, w1)`` span of the replay order, and the only state crossing a
+boundary is the carried heap of scheduled live departures plus a
+*resident* map ``stream -> departure time`` of the sessions spanning
+the edge.  At each window start the resident map advances every live
+stream's arrival cursor past the arrivals its session already covers —
+restoring the invariant that a candidate arrival's stream is inactive —
+and the heap keys use *global* trace positions, so each window pops
+events in exactly the order the monolithic heap would and every handler
+fires with identical arguments: windowed replay is **float-identical**
+to monolithic replay (``tests/test_store.py`` asserts ``==`` across
+window sizes and engines).  Peak memory is a few window-sized arrays —
+the mmap'd store pages stream through — which is what makes 10⁸-event
+traces replayable in bounded RSS (``benchmarks/bench_e17_store.py``).
 """
 
 from __future__ import annotations
@@ -64,6 +81,8 @@ import heapq
 
 import numpy as np
 
+from repro.config import resolve_store_window
+from repro.exceptions import SimulationError, ValidationError
 from repro.sim.indexed import IndexedTrace, IndexedVideoSim
 from repro.sim.metrics import SimulationReport
 
@@ -71,6 +90,11 @@ from repro.sim.metrics import SimulationReport
 #: the same instant, exactly like the heap calendar and
 #: :func:`~repro.sim.engine.merged_replay_order`.
 _ARRIVAL, _DEPARTURE = 0, 1
+
+#: Resident-map departure time of a session that outlives the horizon:
+#: no departure is scheduled (matching the per-event engines), but every
+#: later arrival of the stream must still be skipped.
+_BEYOND_HORIZON = float("inf")
 
 
 class ChunkedVideoSim(IndexedVideoSim):
@@ -104,14 +128,47 @@ class ChunkedVideoSim(IndexedVideoSim):
         departures: np.ndarray,
         horizon: float,
     ) -> None:
-        """Drive the decision-point loop over the implicit replay order."""
+        """Monolithic replay: one window spanning the whole trace."""
+        self._replay_window(times, streams, departures, horizon, [], {}, 0, None)
+
+    def _window_setup(
+        self,
+        times: np.ndarray,
+        streams: np.ndarray,
+        heap: list,
+        resident: "dict[int, float]",
+        offset: int,
+    ) -> "tuple[np.ndarray, np.ndarray, list, list]":
+        """Group one window's arrivals and seed its heap candidates.
+
+        Per-stream arrival groups in CSR layout: stream k's arrivals are
+        ``sorter[indptr[k]:indptr[k + 1]]`` (window-local positions),
+        sorted by ``(time, position)`` — the sorts are stable, so equal
+        times keep trace order, reproducing the calendar's FIFO
+        tie-breaking.  Drawn traces arrive time-sorted already, where
+        grouping needs only the cheaper single-key radix argsort.
+
+        The heap holds only next-interesting events, keyed by the
+        replay-order tuple ``(time, kind, arrival_time, global trace
+        position)`` — the third key orders same-instant departures by
+        *admission*, exactly like the calendar's sequence numbers — with
+        one candidate arrival per stream, plus the departure of each
+        live session.  The trailing stream field is payload, never
+        compared (global positions are unique within a kind).
+
+        Window stitching happens here: each stream in ``resident`` has a
+        live session (admitted in an earlier window), so its arrivals up
+        to the session's departure time are no-ops by construction — its
+        cursor starts past them, restoring the invariant that every
+        candidate arrival's stream is inactive when it pops.  Carried
+        departure entries stay in ``heap`` (re-heapified with the new
+        candidates) and their global positions key the same session
+        records :meth:`~repro.sim.indexed.IndexedVideoSim._admit` wrote,
+        so a boundary never reorders or re-fires anything.
+
+        Returns ``(sorter, times_by_stream, cursor, bounds)``.
+        """
         num_streams = self.idx.num_streams
-        # Per-stream arrival groups in CSR layout: stream k's arrivals
-        # are sorter[indptr[k]:indptr[k + 1]] (trace positions), sorted
-        # by (time, position) — the sorts are stable, so equal times keep
-        # trace order, reproducing the calendar's FIFO tie-breaking.
-        # Drawn traces arrive time-sorted already, where grouping needs
-        # only the cheaper single-key radix argsort.
         if times.shape[0] < 2 or bool(np.all(times[1:] >= times[:-1])):
             sorter = np.argsort(streams, kind="stable")
         else:
@@ -119,44 +176,74 @@ class ChunkedVideoSim(IndexedVideoSim):
         times_by_stream = times[sorter]
         indptr = np.zeros(num_streams + 1, dtype=np.int64)
         np.cumsum(np.bincount(streams, minlength=num_streams), out=indptr[1:])
-
-        # The heap holds only next-interesting events, keyed by the
-        # replay-order tuple (time, kind, arrival_time, trace position)
-        # — the third key orders same-instant departures by *admission*,
-        # exactly like the calendar's sequence numbers — with one
-        # candidate arrival per stream, plus the departure of each live
-        # session.  The trailing stream field is payload, never compared
-        # (positions are unique within a kind).
-        heads = np.flatnonzero(np.diff(indptr) > 0)
-        head_positions = sorter[indptr[heads]]
+        starts = indptr[:-1].copy()
+        for k, depart in resident.items():
+            lo, hi = int(starts[k]), int(indptr[k + 1])
+            if lo < hi:
+                starts[k] = lo + int(
+                    np.searchsorted(times_by_stream[lo:hi], depart, side="right")
+                )
+        heads = np.flatnonzero(starts < indptr[1:])
+        head_positions = sorter[starts[heads]]
         head_times = times[head_positions].tolist()
-        heap = list(
+        heap.extend(
             zip(
                 head_times,
                 (_ARRIVAL,) * heads.shape[0],
                 head_times,
-                head_positions.tolist(),
+                (head_positions + offset).tolist(),
                 heads.tolist(),
             )
         )
         heapq.heapify(heap)
-        cursor = indptr[:-1].tolist()
-        bounds = indptr[1:].tolist()
+        return sorter, times_by_stream, starts.tolist(), indptr[1:].tolist()
+
+    def _replay_window(
+        self,
+        times: np.ndarray,
+        streams: np.ndarray,
+        departures: np.ndarray,
+        horizon: float,
+        heap: list,
+        resident: "dict[int, float]",
+        offset: int,
+        boundary: "float | None",
+    ) -> None:
+        """Drive the decision-point loop over one window of the replay order.
+
+        ``times``/``streams``/``departures`` are the window's slice of
+        the horizon-filtered trace, whose global positions are
+        ``offset + local``; monolithic replay is the single-window case
+        (``offset=0``, ``boundary=None``, empty carried state).  Events
+        with key time ``>= boundary`` stay in ``heap`` for the next
+        window — a departure landing *exactly* on the boundary defers,
+        which preserves the monolithic order because arrivals sort
+        before departures at a tie instant.  ``resident`` maps each live
+        stream to its scheduled departure time
+        (:data:`_BEYOND_HORIZON` when the session outlives the horizon)
+        and is maintained here for :meth:`_window_setup` to stitch the
+        next window.
+        """
+        sorter, times_by_stream, cursor, bounds = self._window_setup(
+            times, streams, heap, resident, offset
+        )
         push, pop = heapq.heappush, heapq.heappop
         active = self.view.active_mask
         on_arrival, on_departure = self._on_arrival, self._on_departure
-        while heap:
+        while heap and (boundary is None or heap[0][0] < boundary):
             time, kind, _scheduled, position, k = pop(heap)
             if kind:
-                on_departure(position, int(streams[position]), time)
+                on_departure(position, k, time)
+                del resident[k]
                 continue
             on_arrival(position, k, time)
             lo = cursor[k] + 1
             hi = bounds[k]
             if active[k]:
-                departure_time = float(departures[position])
+                departure_time = float(departures[position - offset])
                 if departure_time <= horizon:
-                    push(heap, (departure_time, _DEPARTURE, time, position, -1))
+                    resident[k] = departure_time
+                    push(heap, (departure_time, _DEPARTURE, time, position, k))
                     # Admitted: every arrival of k at a time <= the
                     # departure fires while the stream is still carried
                     # (arrivals precede the departure at the tie instant)
@@ -167,12 +254,96 @@ class ChunkedVideoSim(IndexedVideoSim):
                         )
                     )
                 else:  # departs beyond the horizon: carried to the end
+                    resident[k] = _BEYOND_HORIZON
                     lo = hi
             cursor[k] = lo
             if lo < hi:
-                position = int(sorter[lo])
-                arrival_time = float(times[position])
-                push(heap, (arrival_time, _ARRIVAL, arrival_time, position, k))
+                local = int(sorter[lo])
+                arrival_time = float(times[local])
+                push(heap, (arrival_time, _ARRIVAL, arrival_time, local + offset, k))
+
+    @staticmethod
+    def _check_window(times: np.ndarray, durations: np.ndarray) -> None:
+        """Per-window loudness checks mirroring ``_prepare_trace``.
+
+        Windowed store replay never materializes the full columns, so
+        the NaN/negative-duration rejection runs on each streamed window
+        instead (the store writer already refuses such events at append
+        time; this guards hand-built column files).
+        """
+        if np.isnan(times).any() or np.isnan(durations).any():
+            raise SimulationError("NaN event time or duration in trace")
+        if durations.size and float(durations.min()) < 0.0:
+            raise SimulationError(
+                f"negative session duration in trace: {float(durations.min())}"
+            )
+
+    def run_store(
+        self,
+        store,
+        horizon: float,
+        window: "float | None" = None,
+    ) -> SimulationReport:
+        """Replay an on-disk :class:`~repro.sim.store.TraceStore` windowed.
+
+        With a ``window`` (explicit argument or ``$REPRO_STORE_WINDOW``
+        via :func:`~repro.config.resolve_store_window`), the store's
+        horizon prefix is streamed in ``[w0, w1)`` spans of that many
+        time units — peak memory is a few window-sized arrays, the
+        mmap'd pages stream through — with live sessions handed across
+        each boundary as resident state, so the report is
+        **float-identical** to :meth:`run_trace` on the same store (or
+        on the equivalent in-RAM trace).  Requires a time-sorted store;
+        without a window this simply delegates to the monolithic
+        :meth:`run_trace`.
+        """
+        window = resolve_store_window(window)
+        if window is None:
+            return self.run_trace(store, horizon)
+        if not getattr(store, "sorted", False):
+            raise ValidationError(
+                "windowed replay needs a time-sorted store; this one is "
+                "flagged unsorted — rewrite it sorted or replay "
+                "monolithically (window=None)"
+            )
+        times_all = store.times
+        streams_all = store.streams
+        durations_all = store.durations
+        end = int(np.searchsorted(times_all, horizon, side="right"))
+        heap: list = []
+        resident: "dict[int, float]" = {}
+        no_times = np.empty(0)
+        no_streams = np.empty(0, dtype=np.int64)
+        if end:
+            anchor = min(0.0, float(times_all[0]))
+            lo = 0
+            widx = 0
+            while lo < end:
+                ahead = int((float(times_all[lo]) - anchor) // window)
+                if ahead > widx:
+                    # Fast-forward over event-free windows in one step,
+                    # still firing the carried departures inside them.
+                    self._replay_window(
+                        no_times, no_streams, no_times, horizon,
+                        heap, resident, lo, anchor + ahead * window,
+                    )
+                    widx = ahead
+                w1 = anchor + (widx + 1) * window
+                hi = lo + int(np.searchsorted(times_all[lo:end], w1, side="left"))
+                t_w = np.asarray(times_all[lo:hi])
+                d_w = np.asarray(durations_all[lo:hi])
+                self._check_window(t_w, d_w)
+                self._replay_window(
+                    t_w, np.asarray(streams_all[lo:hi]), t_w + d_w,
+                    horizon, heap, resident, lo, w1,
+                )
+                lo = hi
+                widx += 1
+        # Drain: departures at or beyond the last boundary.
+        self._replay_window(
+            no_times, no_streams, no_times, horizon, heap, resident, end, None
+        )
+        return self._build_report(horizon)
 
 
 #: Batched-replay group sizing: first group width, then adaptive
@@ -233,42 +404,37 @@ class BatchedVideoSim(ChunkedVideoSim):
     chunked engine on a decision-heavy 10⁶-event trace.
     """
 
-    def _replay_chunked(
+    def _replay_window(
         self,
         times: np.ndarray,
         streams: np.ndarray,
         departures: np.ndarray,
         horizon: float,
+        heap: list,
+        resident: "dict[int, float]",
+        offset: int,
+        boundary: "float | None",
     ) -> None:
-        """Group-decision driver over the implicit replay order."""
-        num_streams = self.idx.num_streams
-        if times.shape[0] < 2 or bool(np.all(times[1:] >= times[:-1])):
-            sorter = np.argsort(streams, kind="stable")
-        else:
-            sorter = np.lexsort((times, streams))
-        times_by_stream = times[sorter]
-        indptr = np.zeros(num_streams + 1, dtype=np.int64)
-        np.cumsum(np.bincount(streams, minlength=num_streams), out=indptr[1:])
+        """Group-decision driver over one window of the replay order.
 
-        heads = np.flatnonzero(np.diff(indptr) > 0)
-        head_positions = sorter[indptr[heads]]
-        head_times = times[head_positions].tolist()
-        heap = list(
-            zip(
-                head_times,
-                (_ARRIVAL,) * heads.shape[0],
-                head_times,
-                head_positions.tolist(),
-                heads.tolist(),
-            )
+        Same windowing contract as the chunked driver's
+        :meth:`ChunkedVideoSim._replay_window`; grouping never crosses a
+        boundary (every in-window arrival's key precedes it), and
+        because :meth:`~repro.sim.policies.AdmissionPolicy.on_offer_batch`
+        answers are consumed strictly in replay order — the stateful
+        default answers a prefix sequentially, the vectorized overrides
+        are pure per-row functions of the resource state — a boundary
+        cutting a group short cannot change any decision, only how the
+        calls are batched.
+        """
+        sorter, times_by_stream, cursor, bounds = self._window_setup(
+            times, streams, heap, resident, offset
         )
-        heapq.heapify(heap)
-        cursor = indptr[:-1].tolist()
-        bounds = indptr[1:].tolist()
         if self.policy.batch_order_free:
             return self._drive_order_free(
                 times, streams, departures, horizon,
                 sorter, times_by_stream, heap, cursor, bounds,
+                resident, offset, boundary,
             )
         push, pop = heapq.heappush, heapq.heappop
         active = self.view.active_mask
@@ -283,12 +449,13 @@ class BatchedVideoSim(ChunkedVideoSim):
             if nxt >= bounds[k]:
                 return None
             t = float(times_by_stream[nxt])
-            return (t, _ARRIVAL, t, int(sorter[nxt]), k)
+            return (t, _ARRIVAL, t, int(sorter[nxt]) + offset, k)
 
-        while heap:
+        while heap and (boundary is None or heap[0][0] < boundary):
             entry = pop(heap)
             if entry[1]:
-                on_departure(entry[3], int(streams[entry[3]]), entry[0])
+                on_departure(entry[3], entry[4], entry[0])
+                del resident[entry[4]]
                 continue
             # Form the arrival group: consecutive heap arrivals, cut
             # before any member's successor could overtake the batch.
@@ -320,21 +487,26 @@ class BatchedVideoSim(ChunkedVideoSim):
                 lo = cursor[k] + 1
                 hi = bounds[k]
                 if active[k]:
-                    departure_time = float(departures[position])
+                    departure_time = float(departures[position - offset])
                     if departure_time <= horizon:
-                        push(heap, (departure_time, _DEPARTURE, time, position, -1))
+                        resident[k] = departure_time
+                        push(heap, (departure_time, _DEPARTURE, time, position, k))
                         lo += int(
                             np.searchsorted(
                                 times_by_stream[lo:hi], departure_time, side="right"
                             )
                         )
                     else:  # departs beyond the horizon: carried to the end
+                        resident[k] = _BEYOND_HORIZON
                         lo = hi
                 cursor[k] = lo
                 if lo < hi:
-                    position = int(sorter[lo])
-                    arrival_time = float(times[position])
-                    push(heap, (arrival_time, _ARRIVAL, arrival_time, position, k))
+                    local = int(sorter[lo])
+                    arrival_time = float(times[local])
+                    push(
+                        heap,
+                        (arrival_time, _ARRIVAL, arrival_time, local + offset, k),
+                    )
                 if changed:
                     break  # answers past an admit were precomputed blind
             for member in group[consumed:]:
@@ -355,6 +527,9 @@ class BatchedVideoSim(ChunkedVideoSim):
         heap: list,
         cursor: list,
         bounds: list,
+        resident: "dict[int, float]",
+        offset: int,
+        boundary: "float | None",
     ) -> None:
         """Decision-map driver for ``batch_order_free`` policies.
 
@@ -367,6 +542,13 @@ class BatchedVideoSim(ChunkedVideoSim):
         policy work at all.  The epoch ends at the first admit or live
         departure (state changes) or at an unmapped stream (the next
         group answers it first).
+
+        Window boundaries compose freely with the epochs: answers are
+        pure functions of the resource state, so a map cut short by the
+        boundary is simply recomputed — identically — from the next
+        window's first group, and the all-reject cursor jump stops at
+        the window's own arrivals, whose skipped repeats are counted
+        exactly once either way.
         """
         push, pop = heapq.heappush, heapq.heappop
         on_departure = self._on_departure
@@ -378,11 +560,12 @@ class BatchedVideoSim(ChunkedVideoSim):
         times_list = times.tolist()
         empty = ()  # sentinel: mapped-and-rejected (None = unmapped)
         group_cap = _INITIAL_GROUP
-        while heap:
+        while heap and (boundary is None or heap[0][0] < boundary):
             top = heap[0]
             if top[1]:
                 pop(heap)
-                on_departure(top[3], int(streams[top[3]]), top[0])
+                on_departure(top[3], top[4], top[0])
+                del resident[top[4]]
                 continue
             # Answer the distinct pending streams in one policy call.
             group = [pop(heap)]
@@ -422,12 +605,12 @@ class BatchedVideoSim(ChunkedVideoSim):
                     offered += jump - lo
                     cursor[k] = jump
                     if jump < hi:
-                        position = sorter_list[jump]
-                        arrival_time = times_list[position]
+                        local = sorter_list[jump]
+                        arrival_time = times_list[local]
                         push(
                             heap,
                             (arrival_time, _ARRIVAL, arrival_time,
-                             position, k),
+                             local + offset, k),
                         )
                 self.offered += offered
                 continue
@@ -458,12 +641,12 @@ class BatchedVideoSim(ChunkedVideoSim):
                     lo = cursor[k] + 1
                     cursor[k] = lo
                     if lo < bounds[k]:
-                        position = sorter_list[lo]
-                        arrival_time = times_list[position]
+                        local = sorter_list[lo]
+                        arrival_time = times_list[local]
                         push(
                             heap,
                             (arrival_time, _ARRIVAL, arrival_time,
-                             position, k),
+                             local + offset, k),
                         )
                     continue
                 time, position = entry[0], entry[3]
@@ -472,11 +655,12 @@ class BatchedVideoSim(ChunkedVideoSim):
                 hi = bounds[k]
                 if changed:  # a popped candidate's stream was inactive,
                     # so the stream is active now iff this admit took
-                    departure_time = float(departures[position])
+                    departure_time = float(departures[position - offset])
                     if departure_time <= horizon:
+                        resident[k] = departure_time
                         push(
                             heap,
-                            (departure_time, _DEPARTURE, time, position, -1),
+                            (departure_time, _DEPARTURE, time, position, k),
                         )
                         lo += int(
                             np.searchsorted(
@@ -486,14 +670,16 @@ class BatchedVideoSim(ChunkedVideoSim):
                             )
                         )
                     else:  # departs beyond the horizon: carried to the end
+                        resident[k] = _BEYOND_HORIZON
                         lo = hi
                 cursor[k] = lo
                 if lo < hi:
-                    position = sorter_list[lo]
-                    arrival_time = times_list[position]
+                    local = sorter_list[lo]
+                    arrival_time = times_list[local]
                     push(
                         heap,
-                        (arrival_time, _ARRIVAL, arrival_time, position, k),
+                        (arrival_time, _ARRIVAL, arrival_time,
+                         local + offset, k),
                     )
                 if changed:
                     reason = "admit"  # post-admit answers would be stale

@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
+from repro.config import resolve_store_window
 from repro.core.indexed import IndexedInstance, ensure_indexed, ensure_instance
 from repro.core.instance import MMDInstance
 from repro.exceptions import SimulationError, ValidationError
@@ -354,6 +356,47 @@ def simulate_trace(
     if engine == "indexed":
         return IndexedVideoSim(instance, policy).run_trace(trace, horizon)
     return VideoDistributionSim(instance, policy).run_trace(trace, horizon)
+
+
+def simulate_store(
+    instance: "MMDInstance | IndexedInstance",
+    policy: AdmissionPolicy,
+    store,
+    horizon: float,
+    engine: "str | None" = None,
+    window: "float | None" = None,
+) -> SimulationReport:
+    """Replay an on-disk :class:`~repro.sim.store.TraceStore` under one policy.
+
+    The out-of-core counterpart of :func:`simulate_trace`, and
+    report-identical to it on the same events: a store *is* an
+    :class:`~repro.sim.indexed.IndexedTrace` (mmap-backed columns), so
+    every engine accepts it.  With a ``window`` (explicit or
+    ``$REPRO_STORE_WINDOW``), the ``chunked`` and ``batched`` kernels
+    stream the store ``window`` time units at a time in bounded memory
+    via :meth:`~repro.sim.kernel.ChunkedVideoSim.run_store` — live
+    sessions are stitched across boundaries, so the report stays
+    **float-identical** to monolithic replay.  The per-event ``indexed``
+    and ``dict`` engines have no streaming driver; for them the window
+    is a performance hint with nothing to hint, and the store replays
+    monolithically (same report either way, by the stitching contract).
+
+    ``store`` may be a :class:`~repro.sim.store.TraceStore`, a path to
+    one (opened here), or any in-RAM trace when windowing is not
+    requested.
+    """
+    from repro.sim.store import TraceStore
+
+    engine = resolve_sim_engine(engine)
+    if isinstance(store, (str, Path)):
+        store = TraceStore.open(store)
+    if engine in ("chunked", "batched"):
+        from repro.sim.kernel import BatchedVideoSim, ChunkedVideoSim
+
+        cls = BatchedVideoSim if engine == "batched" else ChunkedVideoSim
+        return cls(instance, policy).run_store(store, horizon, window=window)
+    resolve_store_window(window)  # validate loudly even where ignored
+    return simulate_trace(instance, policy, store, horizon, engine=engine)
 
 
 def _simulate_one(args) -> SimulationReport:

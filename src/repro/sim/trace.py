@@ -3,6 +3,15 @@
 Saving the exact arrival trace lets experiments be replayed bit-for-bit
 later (or against new policies) without re-seeding: the trace *is* the
 workload, the policy is the variable.
+
+This JSON form is the small, human-readable one — an array of
+``SessionEvent`` objects, loaded fully into RAM.  For production-scale
+traces (10⁶ events and beyond) use the out-of-core columnar store
+instead (:mod:`repro.sim.store`, ``repro trace write`` on the CLI):
+one ``.npy`` per column, opened zero-copy via mmap and replayable in
+bounded memory.  :func:`store_events` bridges the two — it streams a
+``SessionEvent`` iterable into a store without materializing arrays
+for the whole trace.
 """
 
 from __future__ import annotations
@@ -46,6 +55,49 @@ def trace_from_json(text: str) -> "list[SessionEvent]":
         last_time = event.time
         events.append(event)
     return events
+
+
+def store_events(
+    instance,
+    events: Iterable[SessionEvent],
+    path: "str | Path",
+    *,
+    chunk: "int | None" = None,
+    meta: "dict[str, object] | None" = None,
+):
+    """Stream a ``SessionEvent`` iterable into a columnar trace store.
+
+    The bridge from the JSON/object trace form to the out-of-core
+    store: stream ids are lowered to indices against ``instance`` (an
+    unknown id raises the canonical
+    :class:`~repro.exceptions.ValidationError`), and events are
+    buffered in :func:`~repro.config.resolve_store_chunk`-sized chunks,
+    so an arbitrarily long iterable never materializes whole-trace
+    arrays.  Returns the reopened
+    :class:`~repro.sim.store.TraceStore`.
+    """
+    from repro.config import resolve_store_chunk
+    from repro.core.indexed import ensure_indexed
+    from repro.sim.store import TraceStore, TraceStoreWriter
+
+    idx = ensure_indexed(instance)
+    stream_index = idx.stream_index
+    step = resolve_store_chunk(chunk)
+    buffer: "list[tuple[float, int, float]]" = []
+    with TraceStoreWriter(path, meta=meta) as writer:
+        for event in events:
+            index = stream_index.get(event.stream_id)
+            if index is None:
+                raise ValidationError(f"unknown stream id {event.stream_id!r}")
+            buffer.append((event.time, index, event.duration))
+            if len(buffer) >= step:
+                times, streams, durations = zip(*buffer)
+                writer.append(times, streams, durations)
+                buffer.clear()
+        if buffer:
+            times, streams, durations = zip(*buffer)
+            writer.append(times, streams, durations)
+    return TraceStore.open(path)
 
 
 def save_trace(trace: Iterable[SessionEvent], path: "str | Path") -> None:

@@ -4,10 +4,10 @@ CI additionally runs ``ruff check --select D1`` over these files; this
 AST-based check enforces the same "no missing docstrings" rule without
 needing ruff installed, so the tier-1 suite catches regressions too.
 Scope (per the PR-2 docs pass, extended by the PR-4 orchestration
-layer, the PR-5 chunked kernel and the PR-6 batched core):
-``repro.core.indexed``, ``repro.core.batched``, every module of
-``repro.instances``, ``repro.config``, every module of
-``repro.experiments`` and ``repro.sim.kernel``.
+layer, the PR-5 chunked kernel, the PR-6 batched core and the PR-7
+trace store): ``repro.core.indexed``, ``repro.core.batched``, every
+module of ``repro.instances``, ``repro.config``, every module of
+``repro.experiments``, ``repro.sim.kernel`` and ``repro.sim.store``.
 """
 
 from __future__ import annotations
@@ -25,6 +25,7 @@ CHECKED_FILES = sorted(
         SRC / "core" / "batched.py",
         SRC / "config.py",
         SRC / "sim" / "kernel.py",
+        SRC / "sim" / "store.py",
         *(SRC / "instances").glob("*.py"),
         *(SRC / "experiments").glob("*.py"),
     ]
