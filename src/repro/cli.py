@@ -31,6 +31,12 @@ Commands
     The simulation counterpart: a workload × size × seed × policy grid
     through the same runner (specs of ``kind = "simulate"``, or an
     inline grid from flags).
+``serve``
+    The crash-safe live admission service: ``serve run`` starts (or
+    restores) the HTTP/JSON front door over one online allocator —
+    WAL + snapshots in ``--dir``, load shedding under overload;
+    ``serve restore`` recovers a directory offline and prints what it
+    took (torn bytes repaired, tail replayed, state digest).
 
 All commands read/write plain JSON (``generate --count``,
 ``solve-many``, ``sweep`` and ``simulate-many`` stream JSON Lines) so
@@ -41,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -622,11 +629,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         _write_run_outputs(run, args)
         print(_sweep_summary(run, None, "sweep --merge").render(), file=sys.stderr)
         return 0
+    _graceful_runner_signals()
     try:
         run = _stream_experiment(spec, shard, args)
     except ValidationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted: completed units are flushed to the checkpoint; "
+              "rerun with --resume to continue", file=sys.stderr)
+        return 130
     print(_sweep_summary(run, shard, "sweep").render(), file=sys.stderr)
     return 0
 
@@ -665,13 +677,133 @@ def cmd_simulate_many(args: argparse.Namespace) -> int:
     except SpecError as exc:
         print(f"bad spec: {exc}", file=sys.stderr)
         return 2
+    _graceful_runner_signals()
     try:
         run = _stream_experiment(spec, shard, args)
     except ValidationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted: completed units are flushed to the checkpoint; "
+              "rerun with --resume to continue", file=sys.stderr)
+        return 130
     print(_sweep_summary(run, shard, "simulate-many").render(), file=sys.stderr)
     return 0
+
+
+def cmd_serve_run(args: argparse.Namespace) -> int:
+    """Start (or restore and start) the crash-safe admission service.
+
+    A fresh ``--dir`` is initialized from the named workload (or
+    ``--instance`` JSON); an existing one is restored — torn WAL tail
+    repaired, newest snapshot loaded, tail replayed — before the HTTP
+    front door binds.  One JSON line with the bound port is printed as
+    soon as the service accepts requests (load generators and tests
+    parse it).  SIGINT/SIGTERM stop gracefully: drain the writer,
+    force a final snapshot, close the WAL.
+    """
+    import asyncio
+    import signal
+
+    from repro.serve.http import AdmissionHTTPService
+    from repro.serve.service import MANIFEST_NAME, AdmissionCore, ServeConfig
+
+    root = Path(args.dir)
+    config = ServeConfig(
+        snapshot_every=args.snapshot_every,
+        durability=args.durability,
+        max_pending=args.max_pending,
+        max_wait=args.max_wait,
+        retry_after=args.retry_after,
+    )
+    if (root / MANIFEST_NAME).exists():
+        core = AdmissionCore.restore(root, config=config)
+    elif args.instance:
+        core = AdmissionCore.create(
+            _load_instance(args.instance), root, mu=args.mu, config=config
+        )
+    else:
+        core = AdmissionCore.create(
+            _workload_instance(args), root, mu=args.mu, config=config
+        )
+
+    async def run() -> None:
+        server = AdmissionHTTPService(core)
+        port = await server.start(args.host, args.port)
+        print(json.dumps({
+            "serving": True,
+            "host": args.host,
+            "port": port,
+            "pid": os.getpid(),
+            "seq": core.next_seq,
+            "restore": core.restore_info,
+        }), flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        forever = asyncio.create_task(server.serve_forever())
+        await stop.wait()
+        forever.cancel()
+        try:
+            await forever
+        except asyncio.CancelledError:
+            pass
+        await server.stop()
+
+    asyncio.run(run())
+    print(json.dumps({"serving": False, "seq": core.next_seq}), flush=True)
+    return 0
+
+
+def cmd_serve_restore(args: argparse.Namespace) -> int:
+    """Recover a service directory offline and report what it took.
+
+    Repairs any torn WAL tail, loads the newest snapshot, replays the
+    WAL records past it with per-record verification, and prints the
+    recovery summary plus the restored state digest — without starting
+    the HTTP server.  Corruption beyond a torn tail fails loudly
+    (exit 2) instead of serving a silently wrong allocator.
+    """
+    from repro.serve.service import AdmissionCore
+
+    core = AdmissionCore.restore(args.dir)
+    try:
+        info = core.restore_info
+        stats = core.stats()
+        table = Table(["field", "value"], title=f"restored {args.dir}")
+        table.add_row(["wal records", core.next_seq])
+        table.add_row(["snapshot", info["snapshot"] or "(none)"])
+        table.add_row(["snapshot seq", info["snapshot_seq"]])
+        table.add_row(["tail replayed", info["replayed"]])
+        table.add_row(["torn bytes repaired", info["repaired_bytes"]])
+        table.add_row(["active streams", stats["active_streams"]])
+        table.add_row(["rejected count", stats["rejected_count"]])
+        table.add_row(["state digest", core.state_digest()])
+        print(table.render())
+    finally:
+        core.close()
+    return 0
+
+
+def _graceful_runner_signals() -> None:
+    """Make SIGTERM interrupt a runner exactly like Ctrl-C (SIGINT).
+
+    The runner's checkpoint discipline (append + flush per completed
+    unit) means an interrupted sweep loses at most the in-flight unit;
+    translating SIGTERM into :class:`KeyboardInterrupt` lets the
+    command funnel both signals into one flush-and-exit-130 path.
+    """
+    import signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _interrupt)
+    except (ValueError, OSError):
+        # Not the main thread (embedded use): signals stay untouched.
+        pass
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -891,6 +1023,54 @@ def build_parser() -> argparse.ArgumentParser:
                           "width (needs --trace-store)")
     add_runner_flags(sim_many)
     sim_many.set_defaults(func=cmd_simulate_many)
+
+    serve = sub.add_parser(
+        "serve",
+        help="crash-safe live admission service (HTTP/JSON over one allocator)",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_run = serve_sub.add_parser(
+        "run",
+        help="start the service (fresh directory, or restored after a crash)",
+    )
+    serve_run.add_argument("--dir", required=True,
+                           help="service directory (WAL + snapshots + instance)")
+    serve_run.add_argument("--instance", default=None,
+                           help="instance JSON file (fresh directories only; "
+                           "default: build --workload)")
+    serve_run.add_argument("--workload", choices=sorted(WORKLOADS), default="iptv")
+    serve_run.add_argument("--streams", type=int, default=None,
+                           help="workload catalog size (default: the workload's own)")
+    serve_run.add_argument("--users", type=int, default=None,
+                           help="workload population size")
+    serve_run.add_argument("--seed", type=int, default=0,
+                           help="workload generation seed")
+    serve_run.add_argument("--mu", type=float, default=None,
+                           help="charge base µ (default: the paper's 4γd)")
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 = ephemeral; the bound port is "
+                           "printed as JSON on startup)")
+    serve_run.add_argument("--snapshot-every", type=int, default=1024,
+                           help="WAL records between atomic state snapshots")
+    serve_run.add_argument("--durability", choices=("fsync", "flush"),
+                           default="fsync",
+                           help="WAL durability: fsync survives power loss, "
+                           "flush survives process death only")
+    serve_run.add_argument("--max-pending", type=int, default=64,
+                           help="admission-queue depth before load shedding")
+    serve_run.add_argument("--max-wait", type=float, default=0.5,
+                           help="estimated queue wait (s) before load shedding")
+    serve_run.add_argument("--retry-after", type=float, default=0.25,
+                           help="Retry-After hint (s) on shed responses")
+    serve_run.set_defaults(func=cmd_serve_run)
+    serve_restore = serve_sub.add_parser(
+        "restore",
+        help="recover a service directory offline and print the summary",
+    )
+    serve_restore.add_argument("--dir", required=True,
+                               help="service directory to recover")
+    serve_restore.set_defaults(func=cmd_serve_restore)
     return parser
 
 

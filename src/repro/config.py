@@ -160,6 +160,44 @@ def resolve_store_chunk(value: "int | None" = None) -> int:
     return chunk
 
 
+#: Environment variable naming the commits/releases between defensive
+#: full recomputes of :class:`~repro.core.allocate.OnlineAllocator`'s
+#: cached exponential charges (the float-drift guard).
+CHARGE_RESYNC_ENV = "REPRO_CHARGE_RESYNC"
+
+#: Default resync interval: frequent enough to pin the bit-wise-no-op
+#: invariant at runtime, rare enough to vanish in 10⁶-event replays.
+DEFAULT_CHARGE_RESYNC = 4096
+
+
+def resolve_charge_resync(value: "int | None" = None) -> int:
+    """Resolve the allocator's charge-resync interval (ops per resync).
+
+    Precedence: explicit ``value`` > ``$REPRO_CHARGE_RESYNC`` >
+    :data:`DEFAULT_CHARGE_RESYNC`.  Must be a positive integer;
+    anything else — including junk smuggled in through the environment
+    variable — raises :class:`~repro.exceptions.ValidationError` loudly
+    rather than silently disabling the drift guard.
+    """
+    raw: "int | str | None" = value
+    if raw is None:
+        raw = os.environ.get(CHARGE_RESYNC_ENV)
+        if raw is None:
+            return DEFAULT_CHARGE_RESYNC
+    try:
+        interval = int(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad charge resync interval {raw!r}; need a positive integer "
+            "number of commits/releases"
+        ) from None
+    if interval < 1:
+        raise ValidationError(
+            f"charge resync interval must be >= 1, got {interval}"
+        )
+    return interval
+
+
 def resolve_engine_setting(
     kind: str, value: "str | None" = None, default: "str | None" = None
 ) -> str:

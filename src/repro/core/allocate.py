@@ -50,17 +50,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.config import DEFAULT_CHARGE_RESYNC, resolve_charge_resync
 from repro.core.assignment import Assignment
 from repro.core.indexed import index_instance, small_streams_indexed
 from repro.core.instance import FEASIBILITY_RTOL, MMDInstance
 from repro.exceptions import ValidationError
 
-#: Commits/releases between defensive full recomputes of the cached
-#: exponential charges (the float-drift guard).  The per-entry cache
-#: writes are themselves exact recomputes of ``µ^L``, so the periodic
-#: resync is a bit-wise no-op by construction — it exists to pin that
-#: invariant at runtime, cheaply, for the 10⁶-event simulations.
-CHARGE_RESYNC_INTERVAL = 4096
+#: Default commits/releases between defensive full recomputes of the
+#: cached exponential charges (the float-drift guard).  The per-entry
+#: cache writes are themselves exact recomputes of ``µ^L``, so the
+#: periodic resync is a bit-wise no-op by construction — it exists to
+#: pin that invariant at runtime, cheaply, for the 10⁶-event
+#: simulations.  Configurable per allocator via the ``charge_resync``
+#: constructor argument, or globally via ``$REPRO_CHARGE_RESYNC``
+#: (resolved by :func:`repro.config.resolve_charge_resync`; this
+#: constant re-exports :data:`repro.config.DEFAULT_CHARGE_RESYNC`).
+CHARGE_RESYNC_INTERVAL = DEFAULT_CHARGE_RESYNC
 
 
 def global_skew_parameters(instance: MMDInstance) -> "tuple[float, float, int]":
@@ -106,6 +111,13 @@ class OnlineAllocator:
         defaults to ``2γD + 2``.
     enforce_budgets:
         Hard admission guard (see module docstring).
+    charge_resync:
+        Commits/releases between drift-guard
+        :meth:`resync_charges` runs.  ``None`` resolves through
+        :func:`repro.config.resolve_charge_resync`
+        (``$REPRO_CHARGE_RESYNC`` override, default
+        :data:`CHARGE_RESYNC_INTERVAL`); bad values raise
+        :class:`~repro.exceptions.ValidationError` loudly.
     """
 
     def __init__(
@@ -113,9 +125,11 @@ class OnlineAllocator:
         instance: MMDInstance,
         mu: "float | None" = None,
         enforce_budgets: bool = True,
+        charge_resync: "int | None" = None,
     ) -> None:
         self.instance = instance
         self.enforce_budgets = enforce_budgets
+        self.charge_resync = resolve_charge_resync(charge_resync)
         self.gamma, default_mu, self.d = global_skew_parameters(instance)
         self.mu = default_mu if mu is None else float(mu)
         if self.mu <= 1.0:
@@ -258,7 +272,7 @@ class OnlineAllocator:
     def _charges_mutated(self) -> None:
         """Count a commit/release toward the periodic drift-guard resync."""
         self._ops_since_resync += 1
-        if self._ops_since_resync >= CHARGE_RESYNC_INTERVAL:
+        if self._ops_since_resync >= self.charge_resync:
             self.resync_charges()
 
     def resync_charges(self) -> None:
@@ -267,7 +281,7 @@ class OnlineAllocator:
         Because the incremental writes are already exact per-entry
         recomputes, this is a bit-wise no-op (asserted in
         ``tests/test_allocate.py``); it runs every
-        :data:`CHARGE_RESYNC_INTERVAL` commits/releases as a cheap
+        :attr:`charge_resync` commits/releases as a cheap
         runtime pin of that invariant, and gives any subclass that
         swaps in genuinely multiplicative updates a bounded-drift story.
         """
@@ -298,11 +312,26 @@ class OnlineAllocator:
             self.instance.stream(stream_id)  # canonical unknown-stream error
         return self._idx.user_ids_of(self.offer_indexed(k))
 
+    def _check_stream_index(self, k: int) -> int:
+        """Validate a stream index loudly (canonical :class:`ValidationError`).
+
+        Out-of-range *and negative* indices both fail: numpy's negative
+        indexing would otherwise silently address the wrong stream.
+        """
+        k = int(k)
+        if not 0 <= k < self._idx.num_streams:
+            raise ValidationError(
+                f"unknown stream index {k}; catalog has "
+                f"{self._idx.num_streams} streams"
+            )
+        return k
+
     def offer_indexed(self, k: int) -> np.ndarray:
         """Index-native :meth:`offer`: stream index in, receiver user
         indices out (same floats, same decisions — the string form
         delegates here)."""
         idx = self._idx
+        k = self._check_stream_index(k)
         stream_id = idx.stream_ids[k]
         if stream_id in self._offered:
             raise ValidationError(f"stream {stream_id!r} is already active")
@@ -505,17 +534,31 @@ class OnlineAllocator:
         releases this is the heuristic policy used by the simulator.
         """
         k = self._idx.stream_index.get(stream_id)
-        if k is None or stream_id not in self._offered:
-            raise ValidationError(f"stream {stream_id!r} was never offered")
+        if k is None:
+            self.instance.stream(stream_id)  # canonical unknown-stream error
+        if stream_id not in self._offered:
+            raise ValidationError(
+                f"stream {stream_id!r} is not active "
+                "(never offered, rejected, or already released)"
+            )
         self.release_indexed(k)
 
     def release_indexed(self, k: int) -> None:
         """Index-native :meth:`release`: one scatter-subtract per measure
-        over the stream's receiver pairs instead of a per-user loop."""
+        over the stream's receiver pairs instead of a per-user loop.
+
+        Unknown indices and inactive streams raise the canonical
+        :class:`~repro.exceptions.ValidationError` — never a raw
+        ``KeyError``/``IndexError``, and never a silent no-op.
+        """
         idx = self._idx
+        k = self._check_stream_index(k)
         stream_id = idx.stream_ids[k]
         if stream_id not in self._offered:
-            raise ValidationError(f"stream {stream_id!r} was never offered")
+            raise ValidationError(
+                f"stream {stream_id!r} is not active "
+                "(never offered, rejected, or already released)"
+            )
         pairs = self._active_pairs.pop(k, np.empty(0, dtype=np.int64))
         if pairs.size:
             costs = idx.stream_costs[k]
@@ -536,6 +579,120 @@ class OnlineAllocator:
             for uid in idx.user_ids_of(users):
                 self.assignment.discard(uid, stream_id)
         self._offered.discard(stream_id)
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (the serving layer's durability hooks)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> "dict[str, object]":
+        """The allocator's full dynamic state, as plain data.
+
+        Everything :meth:`load_state` needs to make a fresh allocator
+        (same instance, same ``mu``) *bit-identical* to this one:
+        normalized loads, the cached exponential charges (copied
+        verbatim rather than recomputed, so restore cannot drift),
+        active sessions with their receiver pairs, rejection
+        bookkeeping and the resync counter.  Static derived data
+        (scales, ``µ``, the index) is rebuilt from the instance at
+        construction and therefore not part of the state.
+        """
+        return {
+            "mu": self.mu,
+            "server_load": self._server_load_arr.copy(),
+            "user_load": self._user_load_arr.copy(),
+            "exp_server": self._exp_server.copy(),
+            "exp_user": self._exp_user.copy(),
+            "ops_since_resync": int(self._ops_since_resync),
+            "offered": sorted(self._offered),
+            "active_pairs": {
+                int(k): np.asarray(pairs, dtype=np.int64).copy()
+                for k, pairs in self._active_pairs.items()
+            },
+            "rejected": list(self.rejected),
+            "rejected_count": int(self.rejected_count),
+        }
+
+    def load_state(self, state: "dict[str, object]") -> None:
+        """Restore a :meth:`state_dict` snapshot onto this allocator.
+
+        The allocator must wrap the same instance with the same ``mu``
+        (checked loudly); afterwards every future decision — and
+        :meth:`resync_charges`, still a bit-wise no-op — is identical
+        to the allocator the state was taken from.
+        """
+        if float(state["mu"]) != self.mu:
+            raise ValidationError(
+                f"state was taken at mu={state['mu']!r} but this allocator "
+                f"has mu={self.mu!r}; same instance and mu are required"
+            )
+        idx = self._idx
+        for name, target in (
+            ("server_load", self._server_load_arr),
+            ("user_load", self._user_load_arr),
+            ("exp_server", self._exp_server),
+            ("exp_user", self._exp_user),
+        ):
+            source = np.asarray(state[name], dtype=np.float64)
+            if source.shape != target.shape:
+                raise ValidationError(
+                    f"state array {name!r} has shape {source.shape}, "
+                    f"expected {target.shape}"
+                )
+            target[...] = source
+        self._ops_since_resync = int(state["ops_since_resync"])
+        offered = set(state["offered"])
+        for sid in offered:
+            if sid not in idx.stream_index:
+                raise ValidationError(f"state names unknown stream id {sid!r}")
+        self._offered = offered
+        self._active_pairs = {}
+        self.assignment = Assignment(self.instance)
+        for k, pairs in sorted(state["active_pairs"].items()):
+            k = self._check_stream_index(k)
+            arr = np.asarray(pairs, dtype=np.int64)
+            if arr.size and (
+                int(arr.min()) < int(idx.s_indptr[k])
+                or int(arr.max()) >= int(idx.s_indptr[k + 1])
+            ):
+                raise ValidationError(
+                    f"state pairs for stream index {k} fall outside its "
+                    "interest row"
+                )
+            self._active_pairs[k] = arr
+            self.assignment.assign_stream(
+                idx.stream_ids[k], idx.user_ids_of(idx.s_user[arr])
+            )
+        self.rejected = list(state["rejected"])
+        self._rejected_seen = set(self.rejected)
+        self.rejected_count = int(state["rejected_count"])
+
+    def state_digest(self) -> str:
+        """SHA-256 fingerprint of the dynamic state (bit-identity checks).
+
+        Two allocators over the same instance have equal digests iff
+        their loads, charge caches, active sessions, and rejection
+        bookkeeping are bit-identical — the equality the crash-restore
+        tests assert between a restored service and an uninterrupted
+        run.
+        """
+        import hashlib
+
+        state = self.state_dict()
+        digest = hashlib.sha256()
+        digest.update(repr(float(state["mu"])).encode())
+        for name in ("server_load", "user_load", "exp_server", "exp_user"):
+            arr = state[name]
+            digest.update(name.encode())
+            digest.update(repr(arr.shape).encode())
+            digest.update(arr.tobytes())
+        digest.update(repr(int(state["ops_since_resync"])).encode())
+        digest.update("\x00".join(state["offered"]).encode())
+        for k, pairs in sorted(state["active_pairs"].items()):
+            digest.update(repr(int(k)).encode())
+            digest.update(pairs.tobytes())
+        digest.update("\x00".join(state["rejected"]).encode())
+        digest.update(repr(int(state["rejected_count"])).encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,0 +1,265 @@
+"""Retrying client for the admission service.
+
+Production-shaped failure handling in ~150 lines of stdlib asyncio:
+
+- **timeouts** on every round trip (``asyncio.wait_for``);
+- **capped exponential backoff with jitter** between retries — the
+  jitter source is a seeded :class:`random.Random`, so client behavior
+  in tests and benchmarks is reproducible;
+- **idempotency-key reuse**: a key is chosen once per logical call and
+  resent verbatim on every retry, so a request whose acknowledgement
+  was lost (injected or organic) is deduplicated server-side instead
+  of double-executing;
+- **Retry-After compliance**: a ``503`` shed response waits the
+  server's hint (still jittered, still counted against the retry
+  budget) before trying again.
+
+:func:`http_call` is the synchronous one-shot sibling used by the CLI
+(health/stats probes) and by subprocess tests that just need a single
+request without an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import socket
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.serve.faults import FaultPlan
+from repro.serve.service import ServeFailure
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Attributes
+    ----------
+    base:
+        First-retry delay (seconds); doubles each attempt.
+    cap:
+        Upper bound on any single delay.
+    retries:
+        Retry budget per logical call (total attempts = retries + 1).
+    """
+
+    base: float = 0.05
+    cap: float = 1.0
+    retries: int = 6
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before retry ``attempt`` (0-based)."""
+        ceiling = min(self.cap, self.base * (2.0 ** attempt))
+        return ceiling * (0.5 + 0.5 * rng.random())
+
+
+def _encode_request(
+    method: str, path: str, payload: "dict[str, object] | None"
+) -> bytes:
+    """Serialize one JSON request as HTTP/1.1 bytes (keep-alive)."""
+    body = b"" if payload is None else json.dumps(payload).encode()
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        "Host: repro-serve",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: keep-alive",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _parse_head(head: bytes) -> "tuple[int, dict[str, str]]":
+    """HTTP response head → (status, lowercase headers)."""
+    try:
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        status = int(status_line.split(" ", 2)[1])
+    except (ValueError, IndexError):
+        raise ValidationError("malformed HTTP response head") from None
+    headers: "dict[str, str]" = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class ServeClient:
+    """Asyncio client with timeouts, backoff + jitter, idempotent retries."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        backoff: "BackoffPolicy | None" = None,
+        seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.backoff = backoff or BackoffPolicy()
+        self._rng = random.Random(int(seed))
+        self.fault_plan = fault_plan
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+        self._key_counter = 0
+        self.retried = 0
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    async def offer(
+        self, stream: "str | int", *, key: "str | None" = None
+    ) -> "dict[str, object]":
+        """Offer a stream (retried; at-most-once via the idempotency key)."""
+        key = key if key is not None else self._fresh_key("offer")
+        return await self._request("POST", "/offer", {"stream": stream, "key": key})
+
+    async def release(
+        self, stream: "str | int", *, key: "str | None" = None
+    ) -> "dict[str, object]":
+        """Release a stream (retried; at-most-once via the idempotency key)."""
+        key = key if key is not None else self._fresh_key("release")
+        return await self._request("POST", "/release", {"stream": stream, "key": key})
+
+    async def stats(self) -> "dict[str, object]":
+        """Fetch the server's operational summary."""
+        return await self._request("GET", "/stats", None)
+
+    async def health(self) -> "dict[str, object]":
+        """Fetch the liveness probe."""
+        return await self._request("GET", "/health", None)
+
+    async def close(self) -> None:
+        """Close the persistent connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    def _fresh_key(self, op: str) -> str:
+        """Mint a per-call idempotency key (stable across its retries)."""
+        self._key_counter += 1
+        return f"{op}-c{self._key_counter:08d}-{self._rng.getrandbits(32):08x}"
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    async def _request(
+        self, method: str, path: str, payload: "dict[str, object] | None"
+    ) -> "dict[str, object]":
+        """One logical call: round trips until success or budget exhausted."""
+        last_error: "BaseException | None" = None
+        for attempt in range(self.backoff.retries + 1):
+            if attempt:
+                self.retried += 1
+                await asyncio.sleep(self.backoff.delay(attempt - 1, self._rng))
+            duplicate = (
+                self.fault_plan is not None
+                and method == "POST"
+                and self.fault_plan.on_request() == "duplicate"
+            )
+            try:
+                if duplicate:
+                    # Injected transport fault: the same request arrives
+                    # twice; the idempotency key makes it execute once.
+                    await asyncio.wait_for(
+                        self._roundtrip(method, path, payload), self.timeout
+                    )
+                status, headers, body = await asyncio.wait_for(
+                    self._roundtrip(method, path, payload), self.timeout
+                )
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError) as exc:
+                last_error = exc
+                await self.close()
+                continue
+            if status == 503:
+                hint = float(body.get("retry_after") or headers.get(
+                    "retry-after", 0.0) or 0.0)
+                last_error = ServeFailure(body.get("error", "overloaded"))
+                if hint > 0:
+                    await asyncio.sleep(
+                        min(hint, self.backoff.cap) * (0.5 + 0.5 * self._rng.random())
+                    )
+                continue
+            if status == 400:
+                raise ValidationError(str(body.get("error", "bad request")))
+            if status != 200:
+                raise ServeFailure(
+                    f"{method} {path} failed with HTTP {status}: "
+                    f"{body.get('error', body)}"
+                )
+            return body
+        raise ServeFailure(
+            f"{method} {path} still failing after {self.backoff.retries} retries: "
+            f"{last_error}"
+        )
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: "dict[str, object] | None"
+    ) -> "tuple[int, dict[str, str], dict[str, object]]":
+        """Send one request on the persistent connection; parse the response."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        self._writer.write(_encode_request(method, path, payload))
+        await self._writer.drain()
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        status, headers = _parse_head(head)
+        length = int(headers.get("content-length", "0") or "0")
+        raw = await self._reader.readexactly(length) if length else b""
+        try:
+            body = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            body = {"error": "undecodable response body"}
+        if headers.get("connection") == "close":
+            await self.close()
+        return status, headers, body
+
+
+def http_call(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: "dict[str, object] | None" = None,
+    *,
+    timeout: float = 5.0,
+) -> "tuple[int, dict[str, object]]":
+    """Synchronous one-shot request; returns ``(status, body)``.
+
+    No retries — this is the CLI/test probe, not the production path.
+    """
+    with socket.create_connection((host, int(port)), timeout=timeout) as conn:
+        request = _encode_request(method, path, payload)
+        # Ask the server to close after responding so we can read to EOF.
+        request = request.replace(b"Connection: keep-alive", b"Connection: close", 1)
+        conn.sendall(request)
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status, headers = _parse_head(head + b"\r\n\r\n")
+    length = int(headers.get("content-length", str(len(rest))) or "0")
+    try:
+        body = json.loads(rest[:length].decode() or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        body = {"error": "undecodable response body"}
+    return status, body

@@ -48,9 +48,7 @@ module only owns the bytes.
 
 from __future__ import annotations
 
-import json
 import os
-import zlib
 from pathlib import Path
 from typing import Iterator
 
@@ -59,6 +57,11 @@ import numpy as np
 from repro.config import resolve_store_chunk
 from repro.exceptions import ValidationError
 from repro.sim.indexed import IndexedTrace
+from repro.util.atomic import (
+    json_checksum,
+    read_checked_manifest,
+    write_checked_manifest,
+)
 
 #: Fixed byte size of every column file's ``.npy`` header.  The header
 #: is written once with the current row count and rewritten in place on
@@ -100,26 +103,19 @@ def _npy_header(dtype: str, rows: int) -> bytes:
 
 
 def _manifest_check(body: "dict[str, object]") -> str:
-    """CRC of the manifest body (the footer's torn-write detector)."""
-    canonical = json.dumps(body, sort_keys=True).encode()
-    return format(zlib.crc32(canonical), "08x")
+    """CRC of the manifest body (delegates to the shared helper)."""
+    return json_checksum(body)
 
 
 def _write_manifest(path: Path, body: "dict[str, object]") -> None:
     """Atomically replace ``manifest.json`` with ``body`` + footer.
 
-    The sibling-temp-file + ``os.replace`` dance means a kill mid-write
+    Delegates to :func:`repro.util.atomic.write_checked_manifest` —
+    the sibling-temp-file + ``os.replace`` dance means a kill mid-write
     can never leave a half-written manifest: readers see either the old
     commit or the new one, both internally consistent.
     """
-    manifest = dict(body)
-    manifest["footer"] = {
-        "rows": body["rows"],
-        "check": _manifest_check(body),
-    }
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(manifest, sort_keys=True, indent=1) + "\n")
-    os.replace(tmp, path)
+    write_checked_manifest(path, body)
 
 
 def _read_manifest(root: Path) -> "dict[str, object]":
@@ -128,28 +124,22 @@ def _read_manifest(root: Path) -> "dict[str, object]":
     if not path.exists():
         raise ValidationError(f"no trace store at {str(root)!r} (manifest.json missing)")
     try:
-        manifest = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ValidationError(f"corrupt store manifest {str(path)!r}: {exc}") from exc
-    if manifest.get("format") != STORE_FORMAT:
+        body = read_checked_manifest(path, "store manifest")
+    except ValidationError as exc:
+        if "torn or tampered" in str(exc):
+            raise ValidationError(
+                f"store manifest {str(path)!r} has a torn or tampered footer; "
+                "rewrite it with TraceStoreWriter(path, resume=True)"
+            ) from None
+        raise
+    if body.get("format") != STORE_FORMAT:
         raise ValidationError(
             f"{str(path)!r} is not a {STORE_FORMAT} manifest"
         )
-    if manifest.get("version") != STORE_VERSION:
+    if body.get("version") != STORE_VERSION:
         raise ValidationError(
-            f"unsupported store version {manifest.get('version')!r} "
+            f"unsupported store version {body.get('version')!r} "
             f"(this build reads version {STORE_VERSION})"
-        )
-    footer = manifest.get("footer")
-    body = {k: v for k, v in manifest.items() if k != "footer"}
-    if (
-        not isinstance(footer, dict)
-        or footer.get("rows") != body.get("rows")
-        or footer.get("check") != _manifest_check(body)
-    ):
-        raise ValidationError(
-            f"store manifest {str(path)!r} has a torn or tampered footer; "
-            "rewrite it with TraceStoreWriter(path, resume=True)"
         )
     return body
 

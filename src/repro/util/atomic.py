@@ -1,0 +1,114 @@
+"""Shared atomic-commit helpers for crash-safe on-disk state.
+
+Two modules own durable state — the columnar trace store
+(:mod:`repro.sim.store`) and the admission service's WAL + snapshots
+(:mod:`repro.serve`) — and both follow the same discipline:
+
+- **data bytes first, manifest last** — a JSON manifest naming the
+  committed content is replaced *atomically* (sibling temp file +
+  ``os.replace``) only after the bytes it points at are fully on disk,
+  so a kill at any instant leaves either the old commit or the new one,
+  never a half-written pointer;
+- **checksummed footers** — the manifest body carries a CRC echo so a
+  torn or tampered manifest is detected loudly instead of being
+  half-trusted.
+
+This module is the single implementation of that pattern; the store's
+historical helpers delegate here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+
+def json_checksum(body: "dict[str, object]") -> str:
+    """CRC32 (hex) of a dict's canonical JSON form.
+
+    The canonical form is ``json.dumps(body, sort_keys=True)``, so two
+    semantically equal bodies always produce the same checksum.
+    """
+    canonical = json.dumps(body, sort_keys=True).encode()
+    return format(zlib.crc32(canonical), "08x")
+
+
+def atomic_write_text(path: "str | Path", text: str, *, fsync: bool = False) -> None:
+    """Replace ``path`` with ``text`` atomically (temp file + rename).
+
+    A kill mid-write can never leave a half-written file: readers see
+    either the previous content or the new one.  With ``fsync=True``
+    the temp file's bytes are forced to disk before the rename, so the
+    commit also survives power loss, not just process death.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as handle:
+        handle.write(text)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes, *, fsync: bool = False) -> None:
+    """Binary twin of :func:`atomic_write_text` (temp file + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_checked_manifest(
+    path: "str | Path", body: "dict[str, object]", *, fsync: bool = False
+) -> None:
+    """Atomically write ``body`` + a checksummed footer as JSON.
+
+    The footer echoes ``body["rows"]`` (when present) and the CRC of
+    the body, which :func:`read_checked_manifest` verifies — the
+    torn-write detector shared by the trace store and the serve layer.
+    """
+    manifest = dict(body)
+    manifest["footer"] = {
+        "rows": body.get("rows"),
+        "check": json_checksum(body),
+    }
+    atomic_write_text(Path(path), json.dumps(manifest, sort_keys=True, indent=1) + "\n",
+                      fsync=fsync)
+
+
+def read_checked_manifest(path: "str | Path", what: str = "manifest") -> "dict[str, object]":
+    """Read a footer-checksummed manifest, loudly rejecting torn ones.
+
+    Returns the body (footer stripped).  Raises
+    :class:`~repro.exceptions.ValidationError` when the file is missing,
+    is not JSON, or its footer checksum does not match the body.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no {what} at {str(path)!r}")
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"corrupt {what} {str(path)!r}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ValidationError(f"corrupt {what} {str(path)!r}: not a JSON object")
+    footer = manifest.get("footer")
+    body = {k: v for k, v in manifest.items() if k != "footer"}
+    if (
+        not isinstance(footer, dict)
+        or footer.get("rows") != body.get("rows")
+        or footer.get("check") != json_checksum(body)
+    ):
+        raise ValidationError(
+            f"{what} {str(path)!r} has a torn or tampered footer"
+        )
+    return body

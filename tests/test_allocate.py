@@ -268,3 +268,106 @@ class TestMaximality:
                     inst.user(u).utilities[sid] for u in receivers
                 )
                 assert total_charge <= total_utility + 1e-9
+
+
+class TestReleaseHardening:
+    """Engine agreement for the release paths: id-keyed and index-native
+    releases must raise the same canonical :class:`ValidationError` for
+    every bad input — never a raw ``KeyError``/``IndexError`` and never
+    a silent no-op (the serving layer's WAL replay depends on it)."""
+
+    def _admitted(self, seed=47):
+        inst = small_streams_mmd(8, 2, seed=seed)
+        allocator = OnlineAllocator(inst)
+        sid = next(s for s in inst.stream_ids() if allocator.offer(s))
+        return inst, allocator, sid
+
+    def test_unknown_id_and_index_agree(self):
+        inst, allocator, _ = self._admitted()
+        with pytest.raises(ValidationError, match="nope"):
+            allocator.release("nope")
+        with pytest.raises(ValidationError, match="unknown stream index"):
+            allocator.release_indexed(inst.num_streams)
+
+    def test_negative_index_never_wraps(self):
+        """numpy-style negative indexing must not silently release the
+        last stream in the catalog."""
+        _, allocator, _ = self._admitted()
+        with pytest.raises(ValidationError, match="unknown stream index"):
+            allocator.release_indexed(-1)
+
+    def test_double_release_loud_across_paths(self):
+        """Double release is loud regardless of which path did the first."""
+        inst, allocator, sid = self._admitted()
+        k = allocator._idx.stream_index[sid]
+        allocator.release(sid)
+        with pytest.raises(ValidationError, match="not active"):
+            allocator.release_indexed(k)
+        # And the mirror image: index-native first, id-keyed second.
+        inst2, allocator2, sid2 = self._admitted(seed=48)
+        allocator2.release_indexed(allocator2._idx.stream_index[sid2])
+        with pytest.raises(ValidationError, match="not active"):
+            allocator2.release(sid2)
+
+    def test_release_of_rejected_stream_loud(self):
+        """A rejected offer holds no load; releasing it must refuse."""
+        inst = random_mmd(8, 3, m=1, mc=1, seed=51, budget_fraction=0.15)
+        allocator = OnlineAllocator(inst)
+        rejected = next(
+            (s for s in inst.stream_ids() if not allocator.offer(s)), None
+        )
+        if rejected is None:
+            pytest.skip("tight instance unexpectedly admitted everything")
+        with pytest.raises(ValidationError, match="not active"):
+            allocator.release(rejected)
+        state_users = allocator._exp_user.copy()
+        # The refused release must not have touched any charge.
+        import numpy as np
+
+        assert np.array_equal(allocator._exp_user, state_users)
+
+
+class TestChargeResyncConfig:
+    """The drift-guard interval resolves arg > $REPRO_CHARGE_RESYNC >
+    default, and junk fails loudly instead of disabling the guard."""
+
+    def test_default(self, monkeypatch):
+        from repro.config import DEFAULT_CHARGE_RESYNC
+
+        monkeypatch.delenv("REPRO_CHARGE_RESYNC", raising=False)
+        inst = small_streams_mmd(6, 2, seed=3)
+        assert OnlineAllocator(inst).charge_resync == DEFAULT_CHARGE_RESYNC
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHARGE_RESYNC", "7")
+        inst = small_streams_mmd(6, 2, seed=3)
+        assert OnlineAllocator(inst).charge_resync == 7
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHARGE_RESYNC", "7")
+        inst = small_streams_mmd(6, 2, seed=3)
+        assert OnlineAllocator(inst, charge_resync=3).charge_resync == 3
+
+    @pytest.mark.parametrize("junk", ["junk", "0", "-5", "2.5", ""])
+    def test_junk_env_is_loud(self, monkeypatch, junk):
+        from repro.config import resolve_charge_resync
+
+        monkeypatch.setenv("REPRO_CHARGE_RESYNC", junk)
+        with pytest.raises(ValidationError):
+            resolve_charge_resync()
+
+    def test_bad_arg_is_loud(self):
+        inst = small_streams_mmd(6, 2, seed=3)
+        with pytest.raises(ValidationError):
+            OnlineAllocator(inst, charge_resync=0)
+
+    def test_small_interval_forces_frequent_resync(self, monkeypatch):
+        """A tiny interval keeps the op counter pinned below it — and the
+        forced resyncs never change a decision (bit-wise no-op guard)."""
+        monkeypatch.delenv("REPRO_CHARGE_RESYNC", raising=False)
+        inst = small_streams_mmd(12, 3, seed=81)
+        eager = OnlineAllocator(inst, charge_resync=1)
+        lazy = OnlineAllocator(inst)
+        for sid in inst.stream_ids():
+            assert eager.offer(sid) == lazy.offer(sid)
+            assert eager._ops_since_resync == 0

@@ -223,3 +223,76 @@ class TestEngineErrors:
         err = capsys.readouterr().err
         assert "'turbo'" in err
         assert "chunked" in err
+
+
+class TestGracefulInterrupt:
+    """SIGTERM mid-grid must checkpoint-and-exit 130, and ``--resume``
+    must finish the grid without redoing completed units."""
+
+    GRID = [
+        "simulate-many",
+        "--workload", "small-streams",
+        "--streams", "16", "--users", "8",
+        "--replicates", "4",
+        "--policies", "allocate",
+        "--horizon", "10000", "--rate", "8",
+    ]
+
+    def _spawn(self, tmp_path, *extra):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        ck = tmp_path / "ck.jsonl"
+        out = tmp_path / "out.jsonl"
+        cmd = [sys.executable, "-m", "repro", *self.GRID,
+               "--checkpoint", str(ck), "-o", str(out), *extra]
+        return ck, out, subprocess.Popen(
+            cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigterm_checkpoints_then_resume_completes(self, tmp_path):
+        import signal
+        import time
+
+        ck, out, proc = self._spawn(tmp_path)
+        try:
+            # Wait for the first completed unit to hit the checkpoint,
+            # then interrupt while later units are still running.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if ck.exists() and ck.read_text().count("\n") >= 1:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(f"grid finished early: {proc.stderr.read()}")
+                time.sleep(0.05)
+            else:
+                pytest.fail("no checkpoint row appeared within 60s")
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            stderr = proc.stderr.read()
+        finally:
+            proc.kill()
+            proc.wait()
+        assert rc == 130, stderr
+        assert "rerun with --resume" in stderr
+        done = [json.loads(line) for line in ck.read_text().splitlines()]
+        assert 1 <= len(done) < 4, "interrupt landed outside the grid"
+        # Every checkpointed row is complete (flushed, parseable, keyed).
+        assert all("unit" in row or row for row in done)
+        # Resume: fills in only the missing units and exits cleanly.
+        ck2, out2, proc2 = self._spawn(tmp_path, "--resume")
+        try:
+            rc2 = proc2.wait(timeout=120)
+            stderr2 = proc2.stderr.read()
+        finally:
+            proc2.kill()
+            proc2.wait()
+        assert rc2 == 0, stderr2
+        assert ck2.read_text().count("\n") == 4
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 4

@@ -4,10 +4,12 @@ CI additionally runs ``ruff check --select D1`` over these files; this
 AST-based check enforces the same "no missing docstrings" rule without
 needing ruff installed, so the tier-1 suite catches regressions too.
 Scope (per the PR-2 docs pass, extended by the PR-4 orchestration
-layer, the PR-5 chunked kernel, the PR-6 batched core and the PR-7
-trace store): ``repro.core.indexed``, ``repro.core.batched``, every
-module of ``repro.instances``, ``repro.config``, every module of
-``repro.experiments``, ``repro.sim.kernel`` and ``repro.sim.store``.
+layer, the PR-5 chunked kernel, the PR-6 batched core, the PR-7
+trace store and the PR-8 serving layer): ``repro.core.indexed``,
+``repro.core.batched``, every module of ``repro.instances``,
+``repro.config``, every module of ``repro.experiments``,
+``repro.sim.kernel``, ``repro.sim.store``, every module of
+``repro.serve`` and ``repro.util.atomic``.
 """
 
 from __future__ import annotations
@@ -26,8 +28,10 @@ CHECKED_FILES = sorted(
         SRC / "config.py",
         SRC / "sim" / "kernel.py",
         SRC / "sim" / "store.py",
+        SRC / "util" / "atomic.py",
         *(SRC / "instances").glob("*.py"),
         *(SRC / "experiments").glob("*.py"),
+        *(SRC / "serve").glob("*.py"),
     ]
 )
 

@@ -396,6 +396,35 @@ def test_resumed_append_matches_uninterrupted_write(tmp_path):
     assert _tree_bytes(clean) == _tree_bytes(crashed)
 
 
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(
+    victim=st.sampled_from(
+        ["times.npy", "durations.npy", "streams.npy", "manifest.json"]
+    ),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_fuzz_random_truncation_repairs_or_raises(tmp_path_factory, victim, frac):
+    """Torn-write fuzz: any truncation of any store file must either
+    reopen as an exact row-prefix of the original or raise a
+    :class:`ValidationError` — never silently return wrong data."""
+    trace = make_trace([(float(i), i % NUM_STREAMS, 1.0) for i in range(10)])
+    path = tmp_path_factory.mktemp("fuzz") / "store"
+    write_trace(trace, path)
+    target = path / victim
+    data = target.read_bytes()
+    cut = int(frac * len(data))
+    target.write_bytes(data[:cut])
+    try:
+        store = TraceStore.open(path)
+    except ValidationError:
+        return  # loud refusal is a correct outcome
+    rows = len(store)
+    assert rows <= 10
+    assert np.array_equal(store.times, trace.times[:rows])
+    assert np.array_equal(store.durations, trace.durations[:rows])
+    assert np.array_equal(store.streams, trace.streams[:rows])
+
+
 def test_corrupt_manifest_is_loud(tmp_path):
     """A mangled manifest raises ValidationError, not garbage data."""
     path = tmp_path / "s"
