@@ -1,0 +1,258 @@
+"""E19 — group-commit WAL batching and sharded admission workers.
+
+Measures the two scaling stages this service grew on top of E18's
+one-fsync-per-decision baseline, directly against the commit pipeline
+(:meth:`~repro.serve.service.AdmissionCore.execute_batch` — the HTTP
+transport would only add per-request overhead that batching cannot
+amortize on a single core):
+
+- **group commit** — the identical decision sequence is committed at
+  batch sizes 1 (the E18 discipline), 16 and 64; every batch is one
+  contiguous WAL write and **one** fsync, acknowledgements strictly
+  after the shared sync.  The batch-size scaling curve is reported, the
+  fsync counts are asserted against the histogram, and the run fails if
+  the best batched throughput is under **3×** the fsync'd baseline;
+- **sharded workers** — the same load partitioned by stream hash
+  across 4 :class:`~repro.serve.shard.ShardedAdmissionCore` workers,
+  each a thread owning its own core + WAL + snapshots, committing its
+  shard's subsequence in batches.  On a multi-core box the independent
+  fsync pipelines stack on top of group commit; on the single-core CI
+  container the phase still proves the partitioned layout loses nothing
+  (throughput is asserted ≥ the batched single-writer only when more
+  than one CPU is visible);
+- **restore fidelity** — the batched directory restores bit-identically
+  (digest equality against the batch=1 run: same decision sequence,
+  same state), and the sharded directory barrier-snapshots and restores
+  to its own merged digest.
+
+Set ``REPRO_E19_SCALE=small`` for a CI smoke at ~8× fewer decisions
+(same assertions, including the 3× floor — fsync amortization does not
+need volume to show).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.instances.workloads import small_streams_workload
+from repro.serve.service import AdmissionCore, ServeConfig
+from repro.serve.shard import ShardedAdmissionCore
+from repro.util.timing import Timer
+
+from benchmarks.common import run_once, stage_json, stage_section
+
+FULL_SCALE = os.environ.get("REPRO_E19_SCALE", "full") != "small"
+#: Offer/release pairs per phase (every phase replays the same ops).
+NUM_PAIRS = 4_000 if FULL_SCALE else 500
+#: Group-commit batch sizes swept (1 = the E18 baseline discipline).
+BATCH_SIZES = (1, 16, 64)
+#: Workers in the sharded phase.
+NUM_SHARDS = 4
+#: Catalog/population of the served workload.
+NUM_STREAMS, NUM_USERS = (64, 32) if FULL_SCALE else (32, 16)
+#: CI perf floor: best batched throughput over the batch=1 baseline.
+MIN_BATCH_SPEEDUP = 3.0
+#: Snapshots stay out of the measured window.
+SNAPSHOT_EVERY = 1_000_000
+
+
+def _ops() -> "list[tuple[str, int, None]]":
+    """The shared decision sequence: offer/release pairs over the catalog.
+
+    Deterministic and state-independent (releases of rejected offers
+    come back as in-batch ``ValidationError`` results without touching
+    the allocator), so every phase executes the identical sequence and
+    the batch=1 / batch=N digests must match exactly.
+    """
+    ops: "list[tuple[str, int, None]]" = []
+    for i in range(NUM_PAIRS):
+        k = i % NUM_STREAMS
+        ops.append(("offer", k, None))
+        ops.append(("release", k, None))
+    return ops
+
+
+def _drive(core, ops, batch: int) -> None:
+    """Commit ``ops`` through ``core`` in group-commit batches of ``batch``."""
+    for start in range(0, len(ops), batch):
+        core.execute_batch(ops[start : start + batch])
+
+
+def _sync_count(core: AdmissionCore) -> int:
+    """Fsyncs the core's WAL sink has issued."""
+    return core.wal.sink.sync_count
+
+
+def _batched_phase(
+    instance, root: Path, ops, batch: int
+) -> "dict[str, object]":
+    """One single-writer run at a given batch size; returns its numbers."""
+    config = ServeConfig(snapshot_every=SNAPSHOT_EVERY, commit_batch=batch)
+    core = AdmissionCore.create(instance, root, config=config)
+    timer = Timer()
+    with timer:
+        _drive(core, ops, batch)
+    result = {
+        "batch": batch,
+        "records": core.next_seq,
+        "elapsed": timer.elapsed,
+        "throughput": core.next_seq / max(timer.elapsed, 1e-9),
+        "fsyncs": _sync_count(core),
+        "digest": core.state_digest(),
+    }
+    core.close()
+    return result
+
+
+def _sharded_phase(instance, root: Path, ops, batch: int) -> "dict[str, object]":
+    """The 4-shard run: one thread per shard, each batching its subsequence."""
+    config = ServeConfig(snapshot_every=SNAPSHOT_EVERY, commit_batch=batch)
+    core = ShardedAdmissionCore.create(
+        instance, root, shards=NUM_SHARDS, config=config
+    )
+    by_shard: "list[list]" = [[] for _ in range(NUM_SHARDS)]
+    for op in ops:
+        by_shard[core.route(op[1])].append(op)
+    threads = [
+        threading.Thread(target=_drive, args=(core.cores[s], by_shard[s], batch))
+        for s in range(NUM_SHARDS)
+    ]
+    timer = Timer()
+    with timer:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    core.barrier_snapshot()
+    result = {
+        "shards": NUM_SHARDS,
+        "records": core.next_seq,
+        "shard_records": core.next_seqs(),
+        "elapsed": timer.elapsed,
+        "throughput": core.next_seq / max(timer.elapsed, 1e-9),
+        "digest": core.state_digest(),
+    }
+    core.close()
+    restored = ShardedAdmissionCore.restore(root)
+    result["restore_digest_ok"] = restored.state_digest() == result["digest"]
+    restored.close()
+    return result
+
+
+def bench_e19_shard(benchmark):
+    def experiment():
+        instance = small_streams_workload(
+            num_channels=NUM_STREAMS, num_households=NUM_USERS, seed=7
+        )
+        ops = _ops()
+        with tempfile.TemporaryDirectory(prefix="repro-e19-") as tmp:
+            tmp = Path(tmp)
+            curve = [
+                _batched_phase(instance, tmp / f"b{batch:03d}", ops, batch)
+                for batch in BATCH_SIZES
+            ]
+            # Restore fidelity of the batched directory: group commit
+            # changes WAL *timing*, never WAL *content*.
+            restored = AdmissionCore.restore(tmp / f"b{BATCH_SIZES[-1]:03d}")
+            batched_restore_ok = restored.state_digest() == curve[-1]["digest"]
+            restored.close()
+            sharded = _sharded_phase(instance, tmp / "shards", ops, BATCH_SIZES[-1])
+        return {"curve": curve, "sharded": sharded,
+                "batched_restore_ok": batched_restore_ok,
+                "cpus": os.cpu_count() or 1}
+
+    data = run_once(benchmark, experiment)
+    curve = data["curve"]
+    baseline = curve[0]
+    best = max(curve[1:], key=lambda r: r["throughput"])
+
+    # Same decision sequence ⇒ bit-identical state at every batch size.
+    assert all(r["digest"] == baseline["digest"] for r in curve), (
+        "group commit changed the decision state"
+    )
+    assert all(r["records"] == baseline["records"] for r in curve)
+    assert data["batched_restore_ok"], "batched directory restored differently"
+    assert data["sharded"]["restore_digest_ok"], (
+        "sharded barrier restore diverged from the live merged digest"
+    )
+    # One fsync per decision at batch=1; one per batch afterwards.
+    assert baseline["fsyncs"] == baseline["records"]
+    for r in curve[1:]:
+        ceiling = -(-r["records"] // r["batch"])  # ceil division
+        assert r["fsyncs"] <= ceiling, (
+            f"batch={r['batch']} issued {r['fsyncs']} fsyncs for "
+            f"{r['records']} records (expected <= {ceiling})"
+        )
+
+    speedup = best["throughput"] / max(baseline["throughput"], 1e-9)
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"group commit at batch={best['batch']} reached only "
+        f"{speedup:.2f}x the fsync'd baseline "
+        f"({best['throughput']:,.0f}/s vs {baseline['throughput']:,.0f}/s); "
+        f"the floor is {MIN_BATCH_SPEEDUP}x"
+    )
+    if data["cpus"] > 1:
+        assert data["sharded"]["throughput"] >= best["throughput"], (
+            f"{NUM_SHARDS} shards ({data['sharded']['throughput']:,.0f}/s) "
+            f"fell below the single-writer batched rate "
+            f"({best['throughput']:,.0f}/s) despite {data['cpus']} CPUs"
+        )
+
+    rows = [
+        [f"batch={r['batch']}", f"{r['records']:,}", f"{r['fsyncs']:,}",
+         f"{r['throughput']:,.0f}/s",
+         f"{r['throughput'] / baseline['throughput']:.2f}x"]
+        for r in curve
+    ]
+    rows.append([
+        f"{NUM_SHARDS} shards (batch={BATCH_SIZES[-1]})",
+        f"{data['sharded']['records']:,}",
+        "-",
+        f"{data['sharded']['throughput']:,.0f}/s",
+        f"{data['sharded']['throughput'] / baseline['throughput']:.2f}x",
+    ])
+    stage_section(
+        "E19",
+        f"Group commit + sharding: {baseline['records']:,} fsync'd "
+        f"decisions, batch curve {list(BATCH_SIZES)} and "
+        f"{NUM_SHARDS}-shard fan-out",
+        "The E18 service commits one WAL fsync per decision; E19 drains "
+        "batches through one contiguous write + one shared fsync "
+        "(acknowledgements strictly after the sync), then partitions "
+        "the allocator by stream hash across shard workers that each "
+        "own a core + WAL + snapshots behind a routing front door with "
+        "cross-shard barrier snapshots.  Digests are asserted "
+        "bit-identical across every batch size and across restore.",
+        ["configuration", "records", "fsyncs", "throughput",
+         "vs batch=1"],
+        rows,
+        notes=f"Perf floor (CI-gated): best batched throughput >= "
+        f"{MIN_BATCH_SPEEDUP}x the batch=1 baseline — measured "
+        f"{speedup:.2f}x at batch={best['batch']} on this run.  The "
+        f"sharded row ran on {data['cpus']} visible CPU(s); with one "
+        "core the independent fsync pipelines serialize, so the "
+        "shards>=batched assertion is gated on cpu_count()>1.  The "
+        "chaos suite (tests/test_serve_chaos.py) covers kill-mid-batch "
+        "prefix durability and sharded digest equality vs unsharded "
+        "replay.",
+    )
+    stage_json(
+        "E19",
+        {
+            "scale": "full" if FULL_SCALE else "small",
+            "curve": [
+                {k: r[k] for k in
+                 ("batch", "records", "fsyncs", "elapsed", "throughput")}
+                for r in curve
+            ],
+            "best_batch": best["batch"],
+            "batched_speedup": speedup,
+            "sharded": {k: data["sharded"][k] for k in
+                        ("shards", "records", "shard_records", "elapsed",
+                         "throughput", "restore_digest_ok")},
+            "cpus": data["cpus"],
+        },
+    )

@@ -11,6 +11,16 @@ from repro.analysis.reporting import write_experiments_md
 
 from benchmarks.common import REPO_ROOT, RESULTS_DIR, run_once
 
+#: Machine-readable artifacts the bench suite stages (one per bench
+#: that calls ``stage_json``); a full run should leave exactly these
+#: under ``benchmarks/results/`` for CI to archive.
+EXPECTED_ARTIFACTS = (
+    "BENCH_E16.json",  # batched decision core
+    "BENCH_E17.json",  # out-of-core trace store
+    "BENCH_E18.json",  # admission service over HTTP
+    "BENCH_E19.json",  # group-commit batching + sharded workers
+)
+
 HEADER = """\
 # EXPERIMENTS — paper claims vs. measured results
 
@@ -50,3 +60,9 @@ def bench_z_assemble_report(benchmark):
         print(f"raw artifacts staged ({len(artifacts)}):")
         for path in artifacts:
             print(f"  {path.relative_to(REPO_ROOT)}")
+    staged = {path.name for path in artifacts}
+    missing = [name for name in EXPECTED_ARTIFACTS if name not in staged]
+    if missing:
+        # Partial re-runs legitimately skip benches; say what's absent
+        # instead of letting a silently missing artifact look complete.
+        print(f"expected artifacts not staged this run: {', '.join(missing)}")

@@ -705,37 +705,68 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.config import (
+        resolve_commit_batch,
+        resolve_commit_linger_ms,
+        resolve_durability,
+        resolve_serve_shards,
+    )
     from repro.serve.http import AdmissionHTTPService
     from repro.serve.service import MANIFEST_NAME, AdmissionCore, ServeConfig
+    from repro.serve.shard import ShardedAdmissionCore, open_service
+    from repro.serve.snapshot import SHARD_MANIFEST_NAME
 
     root = Path(args.dir)
+    # Arg > env > default resolution happens here (the dataclass's own
+    # defaults would shadow the environment otherwise); junk is loud.
     config = ServeConfig(
         snapshot_every=args.snapshot_every,
-        durability=args.durability,
+        durability=resolve_durability(args.durability),
         max_pending=args.max_pending,
         max_wait=args.max_wait,
         retry_after=args.retry_after,
+        commit_batch=resolve_commit_batch(args.commit_batch),
+        commit_linger_ms=resolve_commit_linger_ms(args.commit_linger_ms),
     )
-    if (root / MANIFEST_NAME).exists():
-        core = AdmissionCore.restore(root, config=config)
-    elif args.instance:
-        core = AdmissionCore.create(
-            _load_instance(args.instance), root, mu=args.mu, config=config
-        )
+    shards = resolve_serve_shards(args.shards)
+    if (root / SHARD_MANIFEST_NAME).exists() or (root / MANIFEST_NAME).exists():
+        core = open_service(root, config=config)
+        actual = getattr(core, "shard_count", 1)
+        if args.shards is not None and actual != shards:
+            core.close()
+            raise ValidationError(
+                f"{str(root)!r} holds a {actual}-shard service but --shards "
+                f"asked for {shards}; the shard count is fixed at creation"
+            )
     else:
-        core = AdmissionCore.create(
-            _workload_instance(args), root, mu=args.mu, config=config
+        instance = (
+            _load_instance(args.instance) if args.instance
+            else _workload_instance(args)
         )
+        if shards > 1:
+            core = ShardedAdmissionCore.create(
+                instance, root, shards=shards, mu=args.mu, config=config
+            )
+        else:
+            core = AdmissionCore.create(instance, root, mu=args.mu, config=config)
+    shard_count = getattr(core, "shard_count", 1)
+    server = AdmissionHTTPService(core)
 
     async def run() -> None:
-        server = AdmissionHTTPService(core)
         port = await server.start(args.host, args.port)
+        queue = server.queue_stats()
         print(json.dumps({
             "serving": True,
             "host": args.host,
             "port": port,
             "pid": os.getpid(),
             "seq": core.next_seq,
+            "shards": shard_count,
+            "shard_seqs": queue["shard_seqs"],
+            "queue_depths": queue["queue_depths"],
+            "durability": config.durability,
+            "commit_batch": config.commit_batch,
+            "commit_linger_ms": config.commit_linger_ms,
             "restore": core.restore_info,
         }), flush=True)
         loop = asyncio.get_running_loop()
@@ -752,7 +783,17 @@ def cmd_serve_run(args: argparse.Namespace) -> int:
         await server.stop()
 
     asyncio.run(run())
-    print(json.dumps({"serving": False, "seq": core.next_seq}), flush=True)
+    queue = server.queue_stats()
+    print(json.dumps({
+        "serving": False,
+        "seq": core.next_seq,
+        "shards": shard_count,
+        "shard_seqs": queue["shard_seqs"],
+        "queue_depths": queue["queue_depths"],
+        "served": queue["served"],
+        "shed": queue["shed"],
+        "batch_sizes": server.batch_histogram(),
+    }), flush=True)
     return 0
 
 
@@ -765,18 +806,28 @@ def cmd_serve_restore(args: argparse.Namespace) -> int:
     the HTTP server.  Corruption beyond a torn tail fails loudly
     (exit 2) instead of serving a silently wrong allocator.
     """
-    from repro.serve.service import AdmissionCore
+    from repro.serve.shard import ShardedAdmissionCore, open_service
 
-    core = AdmissionCore.restore(args.dir)
+    core = open_service(args.dir)
     try:
         info = core.restore_info
         stats = core.stats()
         table = Table(["field", "value"], title=f"restored {args.dir}")
-        table.add_row(["wal records", core.next_seq])
-        table.add_row(["snapshot", info["snapshot"] or "(none)"])
-        table.add_row(["snapshot seq", info["snapshot_seq"]])
-        table.add_row(["tail replayed", info["replayed"]])
-        table.add_row(["torn bytes repaired", info["repaired_bytes"]])
+        if isinstance(core, ShardedAdmissionCore):
+            table.add_row(["shards", core.shard_count])
+            table.add_row(["wal records (total)", core.next_seq])
+            table.add_row(["per-shard records", core.next_seqs()])
+            table.add_row(["barrier seqs", info["barrier_seqs"] or "(none)"])
+            table.add_row(["tail replayed",
+                           sum(s["replayed"] for s in info["per_shard"])])
+            table.add_row(["torn bytes repaired",
+                           sum(s["repaired_bytes"] for s in info["per_shard"])])
+        else:
+            table.add_row(["wal records", core.next_seq])
+            table.add_row(["snapshot", info["snapshot"] or "(none)"])
+            table.add_row(["snapshot seq", info["snapshot_seq"]])
+            table.add_row(["tail replayed", info["replayed"]])
+            table.add_row(["torn bytes repaired", info["repaired_bytes"]])
         table.add_row(["active streams", stats["active_streams"]])
         table.add_row(["rejected count", stats["rejected_count"]])
         table.add_row(["state digest", core.state_digest()])
@@ -1053,10 +1104,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "printed as JSON on startup)")
     serve_run.add_argument("--snapshot-every", type=int, default=1024,
                            help="WAL records between atomic state snapshots")
-    serve_run.add_argument("--durability", choices=("fsync", "flush"),
-                           default="fsync",
+    serve_run.add_argument("--durability", default=None,
                            help="WAL durability: fsync survives power loss, "
-                           "flush survives process death only")
+                           "flush survives process death only (default: "
+                           "$REPRO_SERVE_DURABILITY, then fsync)")
+    serve_run.add_argument("--commit-batch", type=int, default=None,
+                           help="max decisions group-committed per WAL fsync "
+                           "(default: $REPRO_COMMIT_BATCH, then 1)")
+    serve_run.add_argument("--commit-linger-ms", type=float, default=None,
+                           help="ms a shallow commit queue waits for company "
+                           "(default: $REPRO_COMMIT_LINGER_MS, then 0)")
+    serve_run.add_argument("--shards", type=int, default=None,
+                           help="admission workers to partition streams "
+                           "across (fresh directories only; default: "
+                           "$REPRO_SERVE_SHARDS, then 1)")
     serve_run.add_argument("--max-pending", type=int, default=64,
                            help="admission-queue depth before load shedding")
     serve_run.add_argument("--max-wait", type=float, default=0.5,

@@ -198,6 +198,123 @@ def resolve_charge_resync(value: "int | None" = None) -> int:
     return interval
 
 
+#: Valid WAL durability levels for the admission service: ``fsync``
+#: forces every commit to disk before acknowledging (survives power
+#: loss); ``flush`` stops at the OS page cache (survives process death
+#: — e.g. SIGKILL — but not the machine losing power).
+SERVE_DURABILITIES = ("fsync", "flush")
+
+#: Environment variable naming the admission service's WAL durability
+#: level when ``--durability`` is not passed explicitly.
+SERVE_DURABILITY_ENV = "REPRO_SERVE_DURABILITY"
+
+#: Environment variable naming the group-commit batch size (decisions
+#: per WAL fsync).  1 = today's one-fsync-per-decision behavior.
+COMMIT_BATCH_ENV = "REPRO_COMMIT_BATCH"
+
+#: Environment variable naming the group-commit linger (milliseconds a
+#: shallow queue waits for company before committing).
+COMMIT_LINGER_ENV = "REPRO_COMMIT_LINGER_MS"
+
+#: Environment variable naming the admission-service shard count.
+SERVE_SHARDS_ENV = "REPRO_SERVE_SHARDS"
+
+#: Hard ceiling on the group-commit batch size: large enough that the
+#: fsync share per decision vanishes, small enough that a torn batch
+#: stays a bounded repair.
+MAX_COMMIT_BATCH = 4096
+
+
+def resolve_durability(value: "str | None" = None) -> str:
+    """Resolve the service WAL durability level.
+
+    Precedence: explicit ``value`` > ``$REPRO_SERVE_DURABILITY`` >
+    ``"fsync"``.  Anything outside :data:`SERVE_DURABILITIES` —
+    including junk smuggled in through the environment variable —
+    raises :class:`~repro.exceptions.ValidationError` loudly.
+    """
+    raw = value
+    if raw is None:
+        raw = os.environ.get(SERVE_DURABILITY_ENV, "fsync")
+    if raw not in SERVE_DURABILITIES:
+        raise ValidationError(
+            f"unknown WAL durability {raw!r}; pick one of {SERVE_DURABILITIES}"
+        )
+    return raw
+
+
+def resolve_commit_batch(value: "int | None" = None) -> int:
+    """Resolve the group-commit batch size (decisions per WAL fsync).
+
+    Precedence: explicit ``value`` > ``$REPRO_COMMIT_BATCH`` > 1 (the
+    degenerate batch — bit-identical to the pre-group-commit service).
+    Must be an integer in ``[1, MAX_COMMIT_BATCH]``; junk is loud.
+    """
+    raw: "int | str | None" = value
+    if raw is None:
+        raw = os.environ.get(COMMIT_BATCH_ENV)
+        if raw is None:
+            return 1
+    try:
+        batch = int(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad commit batch {raw!r}; need a positive integer decision count"
+        ) from None
+    if not 1 <= batch <= MAX_COMMIT_BATCH:
+        raise ValidationError(
+            f"commit batch must be in [1, {MAX_COMMIT_BATCH}], got {batch}"
+        )
+    return batch
+
+
+def resolve_commit_linger_ms(value: "float | None" = None) -> float:
+    """Resolve the group-commit linger (milliseconds; 0 = never wait).
+
+    Precedence: explicit ``value`` > ``$REPRO_COMMIT_LINGER_MS`` > 0.0.
+    Must be a finite number in ``[0, 1000]``; junk is loud.
+    """
+    raw: "float | str | None" = value
+    if raw is None:
+        raw = os.environ.get(COMMIT_LINGER_ENV)
+        if raw is None:
+            return 0.0
+    try:
+        linger = float(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad commit linger {raw!r}; need milliseconds in [0, 1000]"
+        ) from None
+    if not math.isfinite(linger) or not 0 <= linger <= 1000:
+        raise ValidationError(
+            f"commit linger must be finite milliseconds in [0, 1000], got {linger}"
+        )
+    return linger
+
+
+def resolve_serve_shards(value: "int | None" = None) -> int:
+    """Resolve the admission-service shard count (worker partitions).
+
+    Precedence: explicit ``value`` > ``$REPRO_SERVE_SHARDS`` > 1 (the
+    unsharded single-writer service).  Must be an integer in
+    ``[1, 256]``; junk is loud.
+    """
+    raw: "int | str | None" = value
+    if raw is None:
+        raw = os.environ.get(SERVE_SHARDS_ENV)
+        if raw is None:
+            return 1
+    try:
+        shards = int(raw)
+    except (TypeError, ValueError):
+        raise ValidationError(
+            f"bad shard count {raw!r}; need a positive integer"
+        ) from None
+    if not 1 <= shards <= 256:
+        raise ValidationError(f"shard count must be in [1, 256], got {shards}")
+    return shards
+
+
 def resolve_engine_setting(
     kind: str, value: "str | None" = None, default: "str | None" = None
 ) -> str:

@@ -110,6 +110,11 @@ class ServeClient:
         self._writer: "asyncio.StreamWriter | None" = None
         self._key_counter = 0
         self.retried = 0
+        #: Every jittered wait this client has slept (retry backoff and
+        #: shed Retry-After waits alike), in order.  Pure function of the
+        #: seed and the observed failure sequence — the determinism test
+        #: asserts two same-seed clients produce identical schedules.
+        self.backoff_delays: "list[float]" = []
 
     # ------------------------------------------------------------------
     # Public operations
@@ -164,7 +169,9 @@ class ServeClient:
         for attempt in range(self.backoff.retries + 1):
             if attempt:
                 self.retried += 1
-                await asyncio.sleep(self.backoff.delay(attempt - 1, self._rng))
+                delay = self.backoff.delay(attempt - 1, self._rng)
+                self.backoff_delays.append(delay)
+                await asyncio.sleep(delay)
             duplicate = (
                 self.fault_plan is not None
                 and method == "POST"
@@ -190,9 +197,11 @@ class ServeClient:
                     "retry-after", 0.0) or 0.0)
                 last_error = ServeFailure(body.get("error", "overloaded"))
                 if hint > 0:
-                    await asyncio.sleep(
-                        min(hint, self.backoff.cap) * (0.5 + 0.5 * self._rng.random())
+                    wait = min(hint, self.backoff.cap) * (
+                        0.5 + 0.5 * self._rng.random()
                     )
+                    self.backoff_delays.append(wait)
+                    await asyncio.sleep(wait)
                 continue
             if status == 400:
                 raise ValidationError(str(body.get("error", "bad request")))

@@ -5,14 +5,27 @@ container deliberately has no third-party HTTP stack).  Endpoints:
 
 - ``GET /health`` — liveness + failed-state flag, served instantly
   from the event loop;
-- ``GET /stats`` — the core's operational summary plus queue counters;
+- ``GET /stats`` — the core's operational summary plus queue counters,
+  the group-commit batch-size histogram and per-shard decision counts;
 - ``POST /offer`` / ``POST /release`` — state-changing decisions, body
   ``{"stream": <id or index>, "key": <idempotency key>}``.
 
-**Single-writer discipline:** every state-changing request runs on a
-one-thread executor, so the allocator and WAL only ever see one writer
-while the event loop stays free to answer health checks and — the
-point — to *shed* load.
+**Single-writer-per-shard discipline:** every state-changing request is
+routed to the worker that owns its stream (one worker for an unsharded
+:class:`~repro.serve.service.AdmissionCore`; the CRC32 stream router of
+:class:`~repro.serve.shard.ShardedAdmissionCore` otherwise), and each
+worker funnels its requests through one thread — the allocator and WAL
+of a shard only ever see one writer while the event loop stays free to
+answer health checks and to *shed* load.
+
+**Group commit:** a worker's thread drains up to ``commit_batch``
+queued decisions per pass, executes them in order, and commits all
+their WAL records under **one** fsync
+(:meth:`~repro.serve.service.AdmissionCore.execute_batch`), resolving
+every waiter only after the shared sync returns — durability semantics
+unchanged, fsync cost shared.  ``commit_linger_ms`` lets a shallow
+queue wait briefly for company; at ``commit_batch=1`` the server
+behaves exactly like the pre-batching single-writer.
 
 **Graceful overload degradation:** before queueing a decision the
 server checks the admission queue.  If ``pending >= max_pending`` or
@@ -32,6 +45,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -103,13 +117,94 @@ async def _read_request(reader: asyncio.StreamReader):
     return method.upper(), path, headers, body
 
 
-class AdmissionHTTPService:
-    """HTTP server over one :class:`~repro.serve.service.AdmissionCore`."""
+def _resolve_waiter(future: "asyncio.Future", outcome, error) -> None:
+    """Complete one request future from the writer thread (loop-side call)."""
+    if future.cancelled():
+        return
+    if error is not None:
+        future.set_exception(error)
+    else:
+        future.set_result(outcome)
+
+
+class _ShardWorker:
+    """One shard's single-writer thread with a group-commit drain loop.
+
+    Requests enqueue from the event loop; the worker thread drains up
+    to ``commit_batch`` of them per pass and commits the whole batch
+    under one fsync.  Extra drain submissions against an already-empty
+    queue are no-ops, so scheduling one drain per enqueue keeps the
+    thread busy exactly while work is pending.
+    """
 
     def __init__(self, core: AdmissionCore) -> None:
         self.core = core
+        self.executor = ThreadPoolExecutor(max_workers=1)
+        self._lock = threading.Lock()
+        self._queue: "deque[tuple]" = deque()
+
+    def submit(
+        self, loop: asyncio.AbstractEventLoop, op: str, stream, key
+    ) -> "asyncio.Future":
+        """Enqueue one decision; returns a future resolving to its outcome."""
+        future = loop.create_future()
+        with self._lock:
+            self._queue.append((op, stream, key, loop, future))
+        self.executor.submit(self._drain)
+        return future
+
+    def depth(self) -> int:
+        """Decisions currently queued on this shard (snapshot)."""
+        with self._lock:
+            return len(self._queue)
+
+    def _drain(self) -> None:
+        """Writer-thread pass: gather a batch, group-commit, resolve waiters."""
+        config = self.core.config
+        linger = config.commit_linger_ms / 1000.0
+        if linger > 0.0:
+            with self._lock:
+                shallow = 0 < len(self._queue) < config.commit_batch
+            if shallow:
+                time.sleep(linger)
+        with self._lock:
+            take = min(config.commit_batch, len(self._queue))
+            items = [self._queue.popleft() for _ in range(take)]
+        if not items:
+            return
+        ops = [(op, stream, key) for op, stream, key, _, _ in items]
+        try:
+            outcomes = self.core.execute_batch(ops)
+        except BaseException as exc:
+            # Whole-batch failure (durability fault, injected crash):
+            # nothing was acknowledged; every waiter sees the error.
+            for _, _, _, loop, future in items:
+                loop.call_soon_threadsafe(_resolve_waiter, future, None, exc)
+            return
+        for (_, _, _, loop, future), outcome in zip(items, outcomes):
+            if isinstance(outcome, ValidationError):
+                loop.call_soon_threadsafe(_resolve_waiter, future, None, outcome)
+            else:
+                loop.call_soon_threadsafe(_resolve_waiter, future, outcome, None)
+
+
+class AdmissionHTTPService:
+    """HTTP server over an admission backend (single-core or sharded).
+
+    ``core`` is either one :class:`~repro.serve.service.AdmissionCore`
+    (one worker, everything routes to it) or a
+    :class:`~repro.serve.shard.ShardedAdmissionCore` (one worker per
+    shard, requests routed by the stream hash).
+    """
+
+    def __init__(self, core) -> None:
+        self.core = core
         self.config = core.config
-        self._executor = ThreadPoolExecutor(max_workers=1)
+        shard_cores = getattr(core, "cores", None)
+        self._sharded = shard_cores is not None
+        self._workers = [
+            _ShardWorker(c) for c in (shard_cores if self._sharded else [core])
+        ]
         self._server: "asyncio.base_events.Server | None" = None
         self.port: "int | None" = None
         self._pending = 0
@@ -135,18 +230,28 @@ class AdmissionHTTPService:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, drain the writer thread, snapshot and close."""
+        """Stop accepting, drain every writer, barrier-snapshot and close."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(self._executor, self._final_flush)
-        self._executor.shutdown(wait=True)
+        await loop.run_in_executor(None, self._final_flush)
 
     def _final_flush(self) -> None:
-        """Last writer-thread job: force a snapshot and close the WAL."""
+        """Drain all writer threads, then snapshot and close (quiesced).
+
+        Shutting each worker's executor down waits out its queued
+        drains, so by the time the snapshot runs no writer is
+        mid-operation — exactly the quiescence the cross-shard barrier
+        requires.
+        """
+        for worker in self._workers:
+            worker.executor.shutdown(wait=True)
         if not self.core.failed:
-            self.core.maybe_snapshot(force=True)
+            if self._sharded:
+                self.core.barrier_snapshot()
+            else:
+                self.core.maybe_snapshot(force=True)
         self.core.close()
 
     # ------------------------------------------------------------------
@@ -210,8 +315,7 @@ class AdmissionHTTPService:
         if path == "/stats":
             if method != "GET":
                 return 405, {"ok": False, "error": "stats is GET-only"}, (), False
-            loop = asyncio.get_running_loop()
-            stats = await loop.run_in_executor(self._executor, self.core.stats)
+            stats = await self._stats()
             stats.update(self.queue_stats())
             return 200, stats, (), False
         if path in ("/offer", "/release"):
@@ -220,14 +324,48 @@ class AdmissionHTTPService:
             return await self._decide(path.lstrip("/"), body)
         return 404, {"ok": False, "error": f"unknown path {path!r}"}, (), False
 
+    async def _stats(self) -> "dict[str, object]":
+        """Collect backend stats through each shard's own writer thread.
+
+        Running a shard's ``stats()`` on its writer serializes the read
+        against that shard's mutations without blocking other shards.
+        """
+        loop = asyncio.get_running_loop()
+        if not self._sharded:
+            return await loop.run_in_executor(
+                self._workers[0].executor, self.core.stats
+            )
+        from repro.serve.shard import merge_shard_stats
+
+        parts = []
+        for worker in self._workers:
+            parts.append(await loop.run_in_executor(
+                worker.executor, worker.core.stats
+            ))
+        merged = merge_shard_stats(parts)
+        merged["restore"] = dict(self.core.restore_info)
+        return merged
+
     def queue_stats(self) -> "dict[str, object]":
         """Admission-queue counters (merged into ``/stats``)."""
-        return {
+        stats: "dict[str, object]" = {
             "pending": self._pending,
             "shed": self._shed,
             "served": self._served,
             "mean_latency": self._mean_latency(),
+            "queue_depths": [w.depth() for w in self._workers],
+            "shard_seqs": [w.core.next_seq for w in self._workers],
         }
+        return stats
+
+    def batch_histogram(self) -> "dict[str, int]":
+        """Merged group-commit batch-size histogram across all workers."""
+        merged: "dict[str, int]" = {}
+        for worker in self._workers:
+            for size, count in worker.core.batch_sizes.items():
+                key = str(size)
+                merged[key] = merged.get(key, 0) + count
+        return {k: merged[k] for k in sorted(merged, key=int)}
 
     def _mean_latency(self) -> float:
         """Rolling mean decision latency (seconds; 0 before any sample)."""
@@ -239,12 +377,16 @@ class AdmissionHTTPService:
         """Overload predicate: queue too deep, or estimated wait too long."""
         if self._pending >= self.config.max_pending:
             return True
-        return self._pending * self._mean_latency() > self.config.max_wait
+        estimated = self._pending * self._mean_latency()
+        # Group commit retires the queue in batches, so the expected
+        # wait shrinks accordingly — without this, a deep-but-fast
+        # batched queue would shed load it could trivially serve.
+        return estimated / max(1, self.config.commit_batch) > self.config.max_wait
 
     async def _decide(
         self, op: str, body: bytes
     ) -> "tuple[int, dict[str, object], tuple, bool]":
-        """Run one offer/release through the single-writer executor."""
+        """Queue one offer/release on its shard's single-writer worker."""
         try:
             payload = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -266,14 +408,15 @@ class AdmissionHTTPService:
                 "shed": True,
                 "retry_after": retry_after,
             }, (("Retry-After", f"{retry_after:g}"),), False
+        try:
+            shard = self.core.route(stream) if self._sharded else 0
+        except ValidationError as exc:
+            return 400, {"ok": False, "error": str(exc)}, (), False
         loop = asyncio.get_running_loop()
-        call = self.core.offer if op == "offer" else self.core.release
         self._pending += 1
         started = time.perf_counter()
         try:
-            response = await loop.run_in_executor(
-                self._executor, lambda: call(stream, key=key)
-            )
+            response = await self._workers[shard].submit(loop, op, stream, key)
         except ValidationError as exc:
             return 400, {"ok": False, "error": str(exc)}, (), False
         except ServeFailure as exc:
@@ -283,7 +426,7 @@ class AdmissionHTTPService:
             self._latencies.append(time.perf_counter() - started)
             self._served += 1
         drop = False
-        plan = self.core.fault_plan
+        plan = getattr(self.core, "fault_plan", None)
         if plan is not None and plan.on_response() == "drop":
             drop = True
         return 200, response, (), drop

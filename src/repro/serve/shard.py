@@ -1,0 +1,357 @@
+"""Sharded admission workers behind one routing front door.
+
+Scaling stage two (group commit being stage one): partition the
+allocator **by stream** across ``N`` workers, each owning a full,
+self-contained service directory — its own
+:class:`~repro.serve.service.AdmissionCore`, WAL and snapshots — so the
+per-shard fsync pipelines proceed independently.  The layout follows
+the controller-routes-to-replicas shape of scalable VoD distribution
+systems: a thin router hashes every offer/release to the shard that
+owns its stream, and only that shard's single writer ever touches the
+stream's state.
+
+Because a stream's whole lifetime lands on one shard, each shard's
+decision sequence is exactly what an unsharded
+:class:`~repro.serve.service.AdmissionCore` would produce given the
+same operation subsequence — the per-shard WALs replay onto fresh
+allocators bit-identically (the chaos suite asserts this digest-for-
+digest).  What sharding changes is *capacity semantics*: each shard
+admits against its own copy of the budgets, which is the standard
+replica model (a shard = a replica group serving a catalog partition),
+not a distributed single-budget allocator.
+
+Layout under the sharded service root::
+
+    shard-manifest.json     # checksummed root pointer + barrier seqs
+    shard-000/              # a complete repro-serve directory
+    shard-001/
+    ...
+
+**Barrier snapshots:** :meth:`ShardedAdmissionCore.barrier_snapshot`
+quiesces (callers stop the writers first — the HTTP layer drains its
+worker threads), syncs **all** WALs, snapshots **all** shards, and only
+then moves the root manifest with the per-shard barrier sequences.  A
+crash at any instant leaves every shard independently restorable, and
+restore checks each shard recovered at least its barrier prefix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.serve.service import AdmissionCore, ServeConfig
+from repro.serve.snapshot import (
+    MANIFEST_NAME,
+    SHARD_MANIFEST_NAME,
+    read_shard_manifest,
+    shard_dir_name,
+    write_shard_manifest,
+)
+
+
+def route_stream_id(stream_id: str, shards: int) -> int:
+    """Deterministic shard for a stream id: CRC32 of its UTF-8 bytes.
+
+    A pure function of ``(stream_id, shards)`` — stable across runs,
+    processes and machines, so a restored or rebuilt router always
+    sends a stream to the shard that holds its history.
+    """
+    return zlib.crc32(str(stream_id).encode("utf-8")) % int(shards)
+
+
+def merged_digest(digests: "list[str]") -> str:
+    """One fingerprint over the per-shard state digests (order-sensitive)."""
+    return hashlib.sha256("\n".join(digests).encode()).hexdigest()
+
+
+def merge_shard_stats(
+    per_shard: "list[dict[str, object]]",
+) -> "dict[str, object]":
+    """Aggregate per-shard ``AdmissionCore.stats()`` dicts into one summary.
+
+    Counters sum, loads max, and the group-commit batch-size histograms
+    merge key-wise.  Shared by :meth:`ShardedAdmissionCore.stats` and
+    the HTTP layer (which gathers each shard's stats on that shard's
+    own writer thread before merging).
+    """
+    if not per_shard:
+        raise ValidationError("cannot merge stats over zero shards")
+    batch_sizes: "dict[str, int]" = {}
+    for shard_stats in per_shard:
+        for size, count in shard_stats["batch_sizes"].items():
+            batch_sizes[size] = batch_sizes.get(size, 0) + count
+    failed = any(s["failed"] for s in per_shard)
+    return {
+        "ok": not failed,
+        "failed": failed,
+        "shards": len(per_shard),
+        "seq": sum(s["seq"] for s in per_shard),
+        "shard_seqs": [s["seq"] for s in per_shard],
+        "active_streams": sum(s["active_streams"] for s in per_shard),
+        "rejected_count": sum(s["rejected_count"] for s in per_shard),
+        "max_server_load": max(s["max_server_load"] for s in per_shard),
+        "batch_sizes": {k: batch_sizes[k] for k in sorted(batch_sizes, key=int)},
+    }
+
+
+class ShardedAdmissionCore:
+    """N admission workers, one router: the sharded service state machine.
+
+    Construct via :meth:`create` (fresh directory) or :meth:`restore`
+    (existing directory, after any crash).  Routing is synchronous and
+    stateless; per-shard state-changing calls must each come from a
+    single thread (one writer per shard — the HTTP layer runs one
+    worker thread per shard).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        instance=None,
+        mu: "float | None" = None,
+        shards: "int | None" = None,
+        config: "ServeConfig | None" = None,
+        fault_plans: "dict[int, object] | None" = None,
+        must_exist: "bool | None" = None,
+    ) -> None:
+        self.root = Path(root)
+        self.config = (config or ServeConfig()).validated()
+        fault_plans = dict(fault_plans or {})
+        exists = (self.root / SHARD_MANIFEST_NAME).exists()
+        if must_exist is True and not exists:
+            raise ValidationError(
+                f"{str(self.root)!r} is not a sharded serve directory "
+                f"(no {SHARD_MANIFEST_NAME}); create the service first"
+            )
+        if must_exist is False and exists:
+            raise ValidationError(
+                f"{str(self.root)!r} is already a sharded serve directory; "
+                "restore it instead of creating over it"
+            )
+        if exists:
+            manifest = read_shard_manifest(self.root)
+            self.shard_count = int(manifest["shards"])
+            barrier = manifest.get("barrier_seqs")
+            self.cores = [
+                AdmissionCore.restore(
+                    self.root / shard_dir_name(s),
+                    config=self.config,
+                    fault_plan=fault_plans.get(s),
+                )
+                for s in range(self.shard_count)
+            ]
+            if barrier is not None:
+                for s, (core, floor) in enumerate(zip(self.cores, barrier)):
+                    if core.next_seq < int(floor):
+                        raise ValidationError(
+                            f"shard {s} restored only {core.next_seq} WAL "
+                            f"records but the barrier manifest promises "
+                            f"{floor}; barriers sync every WAL before the "
+                            "manifest moves, so this directory is corrupt"
+                        )
+            self.restore_info = {
+                "created": False,
+                "shards": self.shard_count,
+                "barrier_seqs": barrier,
+                "per_shard": [dict(c.restore_info) for c in self.cores],
+            }
+        else:
+            if instance is None:
+                raise ValidationError(
+                    "creating a new sharded serve directory requires an instance"
+                )
+            count = int(shards) if shards is not None else 1
+            if count < 1:
+                raise ValidationError(f"shard count must be >= 1, got {count}")
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.cores = [
+                AdmissionCore.create(
+                    instance,
+                    self.root / shard_dir_name(s),
+                    mu=mu,
+                    config=self.config,
+                    fault_plan=fault_plans.get(s),
+                )
+                for s in range(count)
+            ]
+            self.shard_count = count
+            write_shard_manifest(
+                self.root,
+                shards=count,
+                mu=self.cores[0].allocator.mu,
+                barrier_seqs=None,
+            )
+            self.restore_info = {"created": True, "shards": count}
+        self.instance = self.cores[0].instance
+        self._idx = self.cores[0].allocator._idx
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        instance,
+        root: "str | Path",
+        *,
+        shards: int,
+        mu: "float | None" = None,
+        config: "ServeConfig | None" = None,
+        fault_plans: "dict[int, object] | None" = None,
+    ) -> "ShardedAdmissionCore":
+        """Initialize a fresh sharded service directory (loud if one exists)."""
+        return cls(
+            root,
+            instance=instance,
+            mu=mu,
+            shards=shards,
+            config=config,
+            fault_plans=fault_plans,
+            must_exist=False,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        root: "str | Path",
+        *,
+        config: "ServeConfig | None" = None,
+        fault_plans: "dict[int, object] | None" = None,
+    ) -> "ShardedAdmissionCore":
+        """Recover a sharded service from its directory after a stop or crash.
+
+        Every shard restores independently (torn tail repaired, newest
+        snapshot loaded, WAL tail replayed with per-record verification)
+        and the result is checked against the barrier manifest: each
+        shard must hold at least the WAL prefix the last barrier synced.
+        """
+        return cls(root, config=config, fault_plans=fault_plans, must_exist=True)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, stream: "str | int") -> int:
+        """Shard index owning ``stream`` (id or stream index; loud if unknown)."""
+        if isinstance(stream, str):
+            if stream not in self._idx.stream_index:
+                self.instance.stream(stream)  # canonical unknown-stream error
+            stream_id = stream
+        else:
+            k = int(stream)
+            if not 0 <= k < len(self._idx.stream_ids):
+                raise ValidationError(
+                    f"unknown stream index {k}; instance has "
+                    f"{len(self._idx.stream_ids)} streams"
+                )
+            stream_id = self._idx.stream_ids[k]
+        return route_stream_id(stream_id, self.shard_count)
+
+    # ------------------------------------------------------------------
+    # State-changing operations (routed)
+    # ------------------------------------------------------------------
+
+    def offer(self, stream: "str | int", *, key: "str | None" = None) -> "dict[str, object]":
+        """Offer a stream on the shard that owns it."""
+        return self.cores[self.route(stream)].offer(stream, key=key)
+
+    def release(self, stream: "str | int", *, key: "str | None" = None) -> "dict[str, object]":
+        """Release a stream on the shard that owns it."""
+        return self.cores[self.route(stream)].release(stream, key=key)
+
+    # ------------------------------------------------------------------
+    # Barrier snapshots, introspection, lifecycle
+    # ------------------------------------------------------------------
+
+    def barrier_snapshot(self) -> "list[str] | None":
+        """Quiesced cross-shard snapshot: sync all WALs, then snapshot all.
+
+        The caller guarantees quiescence (no writer mid-operation).
+        Protocol: every shard's WAL is made durable first, then every
+        shard commits an atomic snapshot, and only then does the root
+        manifest advance with the per-shard barrier sequences — so a
+        crash anywhere in the protocol leaves each shard independently
+        restorable and the manifest never promises more than the WALs
+        hold.  Returns the per-shard snapshot names (``None`` if any
+        shard is failed: snapshotting un-logged state is unsound).
+        """
+        if self.failed:
+            return None
+        for core in self.cores:
+            core.wal.sync()
+        names = [core.maybe_snapshot(force=True) for core in self.cores]
+        write_shard_manifest(
+            self.root,
+            shards=self.shard_count,
+            mu=self.cores[0].allocator.mu,
+            barrier_seqs=[core.next_seq for core in self.cores],
+        )
+        return names
+
+    @property
+    def failed(self) -> bool:
+        """True when any shard lost its durability guarantee."""
+        return any(core.failed for core in self.cores)
+
+    @property
+    def next_seq(self) -> int:
+        """Total WAL records across all shards."""
+        return sum(core.next_seq for core in self.cores)
+
+    def next_seqs(self) -> "list[int]":
+        """Per-shard WAL record counts (the shard decision counters)."""
+        return [core.next_seq for core in self.cores]
+
+    def decisions_by_shard(self) -> "list[list[dict[str, object]]]":
+        """Every committed WAL record per shard (reads from disk)."""
+        return [core.decisions() for core in self.cores]
+
+    def state_digest(self) -> str:
+        """Merged bit-identity fingerprint over the per-shard digests."""
+        return merged_digest([core.state_digest() for core in self.cores])
+
+    def stats(self) -> "dict[str, object]":
+        """JSON-safe operational summary aggregated across shards."""
+        merged = merge_shard_stats([core.stats() for core in self.cores])
+        merged["restore"] = dict(self.restore_info)
+        return merged
+
+    def close(self) -> None:
+        """Close every shard's WAL (idempotent); the directory stays restorable."""
+        for core in self.cores:
+            core.close()
+
+    def __enter__(self) -> "ShardedAdmissionCore":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close every shard."""
+        self.close()
+
+
+def open_service(
+    root: "str | Path",
+    *,
+    config: "ServeConfig | None" = None,
+) -> "AdmissionCore | ShardedAdmissionCore":
+    """Restore whichever service layout lives at ``root`` (loud otherwise).
+
+    A sharded directory (``shard-manifest.json``) restores to a
+    :class:`ShardedAdmissionCore`; a plain one (``serve-manifest.json``)
+    to an :class:`~repro.serve.service.AdmissionCore`.
+    """
+    root = Path(root)
+    if (root / SHARD_MANIFEST_NAME).exists():
+        return ShardedAdmissionCore.restore(root, config=config)
+    if (root / MANIFEST_NAME).exists():
+        return AdmissionCore.restore(root, config=config)
+    raise ValidationError(
+        f"{str(root)!r} is not a serve directory (no {MANIFEST_NAME} "
+        f"or {SHARD_MANIFEST_NAME}); create the service first"
+    )
