@@ -536,21 +536,24 @@ def _write_run_outputs(run, args: argparse.Namespace) -> None:
 
 
 def _stream_experiment(spec, shard, args: argparse.Namespace):
-    """Run a spec, streaming aggregate rows as units complete.
+    """Run a spec, streaming rows to --output as units complete.
 
-    Each deterministic row (runtimes stripped, sorted keys) is written
-    and flushed the moment its unit finishes — units arrive in index
-    order, so the streamed text is byte-identical to the closing
+    ``--emit aggregate`` (the default) streams deterministic rows
+    (runtimes and provenance stripped, sorted keys) — units arrive in
+    index order, so the streamed text is byte-identical to the closing
     :meth:`ExperimentRun.to_jsonl` aggregate, and ``repro sweep ... |
-    head`` sees output while the grid is still running.  Returns the
-    aggregated :class:`ExperimentRun` (for the `.npz` and the summary).
+    head`` sees output while the grid is still running.  ``--emit
+    checkpoint`` streams the *full* checkpoint rows instead — the
+    worker protocol of the subprocess/ssh transports, whose parent
+    reassembles exactly these lines.  Returns the aggregated
+    :class:`ExperimentRun` (for the `.npz` and the summary).
     """
     import itertools
 
     from repro.experiments.runner import (
-        NONDETERMINISTIC_FIELDS,
         ExperimentRun,
         iter_experiment,
+        strip_row,
     )
 
     results = iter_experiment(
@@ -559,7 +562,10 @@ def _stream_experiment(spec, shard, args: argparse.Namespace):
         workers=args.workers,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        transport=getattr(args, "remote", None),
+        hosts=getattr(args, "hosts", None),
     )
+    full_rows = getattr(args, "emit", "aggregate") == "checkpoint"
     # Pull the first row before opening --output: the runner's up-front
     # refusals (e.g. an existing checkpoint without --resume) must not
     # truncate a previous run's output file.
@@ -569,7 +575,7 @@ def _stream_experiment(spec, shard, args: argparse.Namespace):
     try:
         for row in itertools.chain(head, results):
             rows.append(row)
-            kept = {k: v for k, v in row.items() if k not in NONDETERMINISTIC_FIELDS}
+            kept = row if full_rows else strip_row(row)
             out.write(json.dumps(kept, sort_keys=True))
             out.write("\n")
             out.flush()
@@ -581,6 +587,37 @@ def _stream_experiment(spec, shard, args: argparse.Namespace):
     if getattr(args, "npz", None):
         run.to_npz(args.npz)
     return run
+
+
+def _run_adaptive_cli(spec, args: argparse.Namespace) -> int:
+    """The ``--rounds > 1`` path: adaptive refinement, then outputs."""
+    from repro.experiments.adaptive import run_adaptive
+
+    adaptive = run_adaptive(
+        spec,
+        rounds=args.rounds,
+        top_k=args.refine_top,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        transport=getattr(args, "remote", None),
+        hosts=getattr(args, "hosts", None),
+    )
+    if args.output and args.output != "-":
+        adaptive.to_jsonl(args.output)
+    else:
+        sys.stdout.write(adaptive.to_jsonl())
+    if getattr(args, "npz", None):
+        adaptive.final.to_npz(args.npz)
+    table = _sweep_summary(
+        adaptive.final, None, f"sweep --rounds {args.rounds}"
+    )
+    table.add_row(["rounds executed", len(adaptive.rounds)])
+    table.add_row(
+        ["total units", sum(len(r.rows) for r in adaptive.rounds)]
+    )
+    print(table.render(), file=sys.stderr)
+    return 0
 
 
 def _sweep_summary(run, shard, title: str) -> Table:
@@ -615,7 +652,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
-        spec = resolve_spec(args.spec)
+        if args.spec == "-":
+            # The distributed worker protocol: the parent transport
+            # pipes the spec's canonical JSON to our stdin, so worker
+            # and parent hash (and number) the identical grid.
+            from repro.experiments.spec import spec_from_dict
+
+            try:
+                data = json.loads(sys.stdin.read())
+            except json.JSONDecodeError as exc:
+                raise SpecError(f"stdin spec: invalid JSON: {exc}") from None
+            spec = spec_from_dict(data, name=str(data.get("name", "stdin")))
+        else:
+            spec = resolve_spec(args.spec)
         shard = _parse_shard(args.shard)
     except SpecError as exc:
         print(f"bad spec: {exc}", file=sys.stderr)
@@ -631,6 +680,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 0
     _graceful_runner_signals()
     try:
+        if args.rounds > 1:
+            return _run_adaptive_cli(spec, args)
         run = _stream_experiment(spec, shard, args)
     except ValidationError as exc:
         print(str(exc), file=sys.stderr)
@@ -679,6 +730,8 @@ def cmd_simulate_many(args: argparse.Namespace) -> int:
         return 2
     _graceful_runner_signals()
     try:
+        if args.rounds > 1:
+            return _run_adaptive_cli(spec, args)
         run = _stream_experiment(spec, shard, args)
     except ValidationError as exc:
         print(str(exc), file=sys.stderr)
@@ -840,21 +893,15 @@ def cmd_serve_restore(args: argparse.Namespace) -> int:
 def _graceful_runner_signals() -> None:
     """Make SIGTERM interrupt a runner exactly like Ctrl-C (SIGINT).
 
-    The runner's checkpoint discipline (append + flush per completed
-    unit) means an interrupted sweep loses at most the in-flight unit;
-    translating SIGTERM into :class:`KeyboardInterrupt` lets the
-    command funnel both signals into one flush-and-exit-130 path.
+    One shared implementation
+    (:func:`repro.experiments.transport.base.graceful_runner_signals`)
+    covers direct CLI runs *and* the worker processes the
+    subprocess/ssh transports spawn — a terminated worker flushes its
+    checkpoint and exits 130 through exactly this path.
     """
-    import signal
+    from repro.experiments.transport.base import graceful_runner_signals
 
-    def _interrupt(signum, frame):
-        raise KeyboardInterrupt
-
-    try:
-        signal.signal(signal.SIGTERM, _interrupt)
-    except (ValueError, OSError):
-        # Not the main thread (embedded use): signals stay untouched.
-        pass
+    graceful_runner_signals()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1022,6 +1069,29 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--npz", default=None,
                                 help="also write columnar .npz (objective, "
                                 "runtime, Jain fairness per unit)")
+        sub_parser.add_argument("--remote", default=None, metavar="TRANSPORT",
+                                help="execution transport: local, subprocess "
+                                "(--workers processes streaming rows over "
+                                "pipes), or ssh (one worker per --hosts "
+                                "entry); default $REPRO_SWEEP_TRANSPORT, "
+                                "then local — aggregates are byte-identical "
+                                "either way")
+        sub_parser.add_argument("--hosts", default=None, metavar="A,B,C",
+                                help="ssh transport worker hosts "
+                                "(default $REPRO_SWEEP_HOSTS)")
+        sub_parser.add_argument("--rounds", type=int, default=1,
+                                help="adaptive refinement rounds (1 = plain "
+                                "sweep; each round subdivides the top "
+                                "--refine-top cells' axis neighborhoods)")
+        sub_parser.add_argument("--refine-top", type=int, default=1,
+                                metavar="K",
+                                help="grid cells refined per adaptive round "
+                                "(scored by the spec's refine_metric)")
+        sub_parser.add_argument("--emit", choices=("aggregate", "checkpoint"),
+                                default="aggregate",
+                                help="what --output streams: deterministic "
+                                "aggregate rows, or full checkpoint rows "
+                                "(the distributed worker protocol)")
 
     sweep = sub.add_parser(
         "sweep",

@@ -9,15 +9,27 @@ pipeline:
   scenarios live under ``repro/experiments/specs/``) that expands
   lazily into numbered :class:`WorkUnit` streams with index-derived
   per-unit seeds;
+- :mod:`repro.experiments.execute` — one work unit in, one result row
+  out (the solver/simulator front doors);
+- :mod:`repro.experiments.checkpoint` — the per-unit JSONL append
+  discipline: exclusive lockfile, torn-tail repair, spec-hash
+  provenance;
+- :mod:`repro.experiments.transport` — pluggable execution backends
+  (``local`` pool, ``subprocess`` workers, ``ssh`` hosts), all
+  streaming rows back in unit order;
 - :mod:`repro.experiments.runner` — :func:`run_experiment`: sharded
   (``shard=(i, n)``), pooled (``workers=N``), resumable (per-unit JSONL
-  checkpoints) execution with columnar aggregation
-  (:class:`ExperimentRun`);
+  checkpoints), distributable (``transport=...``) execution with
+  columnar aggregation (:class:`ExperimentRun`);
+- :mod:`repro.experiments.adaptive` — :func:`run_adaptive`,
+  round-based grid refinement (score cells, subdivide the top-k) on
+  top of the same checkpoint/transport stack;
 - :mod:`repro.experiments.pipeline` — :func:`map_ordered`, the
   ordered bounded-in-flight mapper that `solve_many`,
-  `compare_policies` and the runner all share.
+  `compare_policies` and the local transport all share.
 
-CLI: ``repro sweep <spec> [--shard i/n --workers N --resume]`` and
+CLI: ``repro sweep <spec> [--shard i/n --workers N --resume --remote
+{local,subprocess,ssh} --rounds R --refine-top K]`` and
 ``repro simulate-many``.
 
 >>> from repro.experiments import ScenarioSpec, run_experiment
@@ -28,6 +40,7 @@ CLI: ``repro sweep <spec> [--shard i/n --workers N --resume]`` and
 ['s6-u4-a1-r0', 's6-u4-a4-r0']
 """
 
+from repro.experiments.adaptive import AdaptiveRun, run_adaptive
 from repro.experiments.pipeline import map_ordered
 from repro.experiments.runner import (
     ExperimentRun,
@@ -36,6 +49,7 @@ from repro.experiments.runner import (
     read_checkpoint,
     run_experiment,
 )
+from repro.experiments.transport import Transport, get_transport
 from repro.experiments.spec import (
     ScenarioSpec,
     SpecError,
@@ -55,9 +69,13 @@ __all__ = [
     "resolve_spec",
     "spec_from_dict",
     "map_ordered",
+    "AdaptiveRun",
     "ExperimentRun",
+    "Transport",
+    "get_transport",
     "iter_experiment",
     "merge_checkpoints",
     "read_checkpoint",
+    "run_adaptive",
     "run_experiment",
 ]

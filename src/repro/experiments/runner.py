@@ -1,375 +1,78 @@
-"""Sharded, resumable execution of scenario specs.
+"""Sharded, resumable execution of scenario specs (the composition layer).
 
-The runner owns everything between a :class:`~repro.experiments.spec.ScenarioSpec`
-and its results:
+The runner used to be a monolith; it is now the thin seam where four
+separately-testable layers meet, each owning one concern:
 
-- **fan-out** — work units execute in-process or over a process pool
-  (:func:`repro.experiments.pipeline.map_ordered`), results always in
-  unit order;
-- **sharding** — ``shard=(i, n)`` runs the units with
-  ``index % n == i``; per-unit seeds are index-derived, so ``n``
-  machines splitting one spec reproduce the single-machine run exactly;
-- **checkpointing** — every completed unit appends one JSONL row to the
-  checkpoint file; ``resume=True`` re-reads it and skips completed unit
-  ids (a truncated trailing line from a kill mid-write is ignored);
-- **aggregation** — an :class:`ExperimentRun` holds rows sorted by unit
-  index and writes columnar output: a deterministic JSONL (runtimes
-  stripped, keys sorted — shard unions are byte-identical to unsharded
-  runs) and an ``.npz`` of per-unit objective, runtime and Jain
-  fairness arrays.
+- :mod:`repro.experiments.execute` — one work unit in, one row out;
+- :mod:`repro.experiments.checkpoint` — the per-unit JSONL append
+  discipline, its exclusive lockfile, torn-tail repair, and the
+  spec-hash provenance check;
+- :mod:`repro.experiments.transport` — *where* units run: in this
+  process (``local``), across worker processes (``subprocess``), or
+  across hosts (``ssh``), all streaming rows back in unit order;
+- :mod:`repro.experiments.aggregate` — :class:`ExperimentRun` and the
+  deterministic artifacts (JSONL with runtimes/provenance stripped,
+  ``.npz`` columns), plus shard-checkpoint merging.
 
-Every checkpoint/aggregate row records the **resolved engine** that
-executed its unit (the solver engine for solve specs, the simulation
-engine — ``dict`` / ``indexed`` / ``chunked`` — for simulate specs), so
-sweeps run on different machines or under different ``$REPRO_*_ENGINE``
-environments are distinguishable after the fact.
+:func:`iter_experiment` composes them: resolve the spec and transport,
+open the checkpoint writer, stream the transport's ``(was_cached,
+row)`` pairs, append fresh rows (stamped with the spec hash) as they
+complete, yield every row in unit order.  Because all transports
+converge on this one path, any transport's aggregate is byte-identical
+to a local run — the distributed-sweep acceptance contract.
 
-Work-unit execution delegates to the same front doors everything else
-uses — :func:`repro.core.solver.solve_mmd` for solve specs,
-:func:`repro.sim.simulation.simulate_trace` for simulation specs (one
-policy per unit, replaying a per-cell trace drawn from the cell's seed
-exactly as :func:`~repro.sim.simulation.compare_policies` draws it) —
-so a spec run and a hand-rolled loop produce identical numbers.  In
-pooled runs each worker process rebuilds a cell's workload/trace on
-first touch (the one-slot cell cache is per process) — the price of
-units being self-contained enough to ship to another machine.
+The historical names (``read_checkpoint``, ``ExperimentRun``,
+``merge_checkpoints``, ``NONDETERMINISTIC_FIELDS``) are re-exported
+here so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import json
-import math
-import time
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
-import numpy as np
-
-from repro.core.instance import MMDInstance
 from repro.exceptions import ValidationError
-from repro.experiments.pipeline import map_ordered
-from repro.experiments.spec import ScenarioSpec, SpecError, WorkUnit, resolve_spec
+from repro.experiments.aggregate import (  # noqa: F401  (re-exports)
+    NONDETERMINISTIC_FIELDS,
+    PROVENANCE_FIELDS,
+    ExperimentRun,
+    merge_checkpoints,
+    strip_row,
+)
+from repro.experiments.checkpoint import (  # noqa: F401  (re-exports)
+    CheckpointLock,
+    CheckpointWriter,
+    read_checkpoint,
+    row_text as _row_text,
+)
+from repro.experiments.execute import (  # noqa: F401  (re-exports)
+    _execute_sim_unit,
+    _execute_solve_unit,
+    _sim_policy,
+    _sim_workloads,
+    execute_item as _execute_item,
+)
+from repro.experiments.spec import ScenarioSpec, resolve_spec
+from repro.experiments.transport import get_transport
 
-#: Checkpoint/aggregate row fields that are **not** deterministic across
-#: runs (stripped from the aggregate JSONL, kept in checkpoints/.npz).
-NONDETERMINISTIC_FIELDS = ("runtime",)
-
-
-# ----------------------------------------------------------------------
-# Work-unit executors
-# ----------------------------------------------------------------------
-
-
-def _json_num(value: float) -> "float | str":
-    """JSON-safe number (the instance-JSON convention: inf → ``"inf"``)."""
-    return "inf" if math.isinf(value) else float(value)
-
-
-def _solve_jain(assignment, instance: MMDInstance) -> float:
-    """Jain fairness over per-user *capped* utility of a static solution.
-
-    Same convention as
-    :attr:`repro.sim.metrics.SimulationReport.jain_fairness`:
-    ``(Σx)² / (n·Σx²)`` over the full population, ``1.0`` when nobody
-    collects anything.
-    """
-    total = 0.0
-    squares = 0.0
-    for user in instance.users:
-        x = min(assignment.raw_user_utility(user.user_id), user.utility_cap)
-        total += x
-        squares += x * x
-    if squares == 0:
-        return 1.0
-    return total * total / (max(instance.num_users, 1) * squares)
+__all__ = [
+    "NONDETERMINISTIC_FIELDS",
+    "PROVENANCE_FIELDS",
+    "ExperimentRun",
+    "iter_experiment",
+    "merge_checkpoints",
+    "read_checkpoint",
+    "run_experiment",
+]
 
 
-def _build_solve_instance(spec: ScenarioSpec, unit: WorkUnit):
-    """Materialize the instance of one solve unit (family dispatch)."""
-    from repro.instances.generators import (
-        random_mmd,
-        random_smd,
-        random_unit_skew_smd,
-        small_streams_mmd,
-        sweep_cell,
-    )
+def _resolve_hosts(hosts) -> "tuple[str, ...]":
+    """Normalize a host argument (sequence, comma string, or None)."""
+    from repro.config import resolve_sweep_hosts
 
-    params = dict(spec.params)
-    if spec.family == "jsonl":
-        return MMDInstance.from_json(unit.payload)
-    if spec.family == "sweep":
-        return sweep_cell(
-            unit.num_streams,
-            unit.num_users,
-            unit.skew,
-            seed=unit.seed,
-            engine=spec.gen_engine,
-            **params,
-        )
-    if spec.family == "unit-skew-smd":
-        return random_unit_skew_smd(
-            unit.num_streams, unit.num_users, seed=unit.seed,
-            engine=spec.gen_engine, **params,
-        )
-    if spec.family == "smd":
-        return random_smd(
-            unit.num_streams, unit.num_users, unit.skew, seed=unit.seed,
-            engine=spec.gen_engine, **params,
-        )
-    if spec.family == "mmd":
-        params.setdefault("m", 2)
-        params.setdefault("mc", 1)
-        return random_mmd(
-            unit.num_streams, unit.num_users, seed=unit.seed,
-            engine=spec.gen_engine, **params,
-        )
-    if spec.family == "small-streams":
-        return small_streams_mmd(
-            unit.num_streams, unit.num_users, seed=unit.seed,
-            engine=spec.gen_engine, **params,
-        )
-    raise SpecError(f"unknown solve family {spec.family!r}")
-
-
-def _execute_solve_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object]":
-    """Generate-and-solve one unit; return its checkpoint row."""
-    from repro.core.solver import solve_mmd
-
-    from repro.config import resolve_engine_setting
-
-    start = time.perf_counter()
-    instance = _build_solve_instance(spec, unit)
-    result = solve_mmd(instance, method=spec.method, engine=spec.engine)
-    runtime = time.perf_counter() - start
-    assignment = result.assignment
-    lifted = assignment.instance
-    return {
-        "unit": unit.index,
-        "id": unit.unit_id,
-        "seed": unit.seed,
-        "name": lifted.name,
-        "streams": lifted.num_streams,
-        "users": lifted.num_users,
-        "skew": unit.skew,
-        "replicate": unit.replicate,
-        "method": result.method,
-        "engine": resolve_engine_setting("solver", spec.engine),
-        "utility": result.utility,
-        "guarantee": _json_num(result.guarantee),
-        "feasible": assignment.is_feasible(),
-        "streams_carried": len(assignment.assigned_streams()),
-        "jain": _solve_jain(assignment, lifted),
-        "runtime": runtime,
-    }
-
-
-#: ``kind="simulate"`` workload factories (sizes positional, seed kwarg).
-def _sim_workloads():
-    """Name → factory map for the simulation workloads (lazy import)."""
-    from repro.instances.workloads import (
-        cable_headend_workload,
-        iptv_neighborhood_workload,
-        small_streams_workload,
-    )
-
-    return {
-        "iptv": iptv_neighborhood_workload,
-        "cable-headend": cable_headend_workload,
-        "small-streams": small_streams_workload,
-    }
-
-
-def _sim_policy(name: str, seed: int):
-    """Instantiate one admission policy by spec name."""
-    from repro.sim.policies import (
-        AllocatePolicy,
-        DensityPolicy,
-        RandomPolicy,
-        ThresholdPolicy,
-    )
-
-    factories = {
-        "threshold": ThresholdPolicy,
-        "allocate": AllocatePolicy,
-        "density": DensityPolicy,
-        "random": lambda: RandomPolicy(seed=seed),
-    }
-    return factories[name]()
-
-
-#: One-slot cache of the last simulation cell's (instance, trace).
-#: Units expand cell-major — every policy of a cell is adjacent — so a
-#: multi-policy spec builds each workload and draws each trace once per
-#: cell instead of once per unit (matching what the pre-runner
-#: ``compare_policies`` loop did), while sharded/pooled executions that
-#: interleave cells merely miss the cache and rebuild.
-_SIM_CELL_CACHE: "dict[tuple, tuple]" = {}
-
-
-def _sim_cell(spec: ScenarioSpec, unit: WorkUnit):
-    """The unit's cell: the workload instance and the common trace.
-
-    A spec with ``trace_store`` replays one shared on-disk store
-    (opened zero-copy via mmap) instead of drawing a trace: every
-    policy/replicate unit — and every *shard worker* of a distributed
-    sweep — streams the same giant trace, which is how one 10⁸-event
-    workload fans out across processes in bounded memory.
-    """
-    import inspect
-
-    from repro.sim.indexed import draw_trace_arrays, resolve_sim_engine
-    from repro.sim.simulation import ArrivalModel, draw_trace
-
-    engine = resolve_sim_engine(spec.sim_engine)
-    key = (
-        spec.family, unit.num_streams, unit.num_users, unit.seed,
-        spec.horizon, spec.rate, spec.duration, spec.popularity, engine,
-        spec.trace_store,
-    )
-    cached = _SIM_CELL_CACHE.get(key)
-    if cached is not None:
-        return cached
-    factory = _sim_workloads()[spec.family]
-    # A None size axis means "the workload's default": read the default
-    # off the factory signature so one axis may be pinned alone.
-    sizes = list(inspect.signature(factory).parameters.values())
-    num_streams = unit.num_streams if unit.num_streams is not None else sizes[0].default
-    num_users = unit.num_users if unit.num_users is not None else sizes[1].default
-    instance = factory(num_streams, num_users, seed=unit.seed)
-    if spec.trace_store is not None:
-        from repro.sim.store import TraceStore
-
-        trace = TraceStore.open(spec.trace_store)
-    elif engine != "dict":  # indexed and chunked share the array draw
-        model = ArrivalModel(
-            rate=spec.rate,
-            mean_duration=spec.duration,
-            popularity_exponent=spec.popularity,
-        )
-        trace = draw_trace_arrays(instance, model, spec.horizon, unit.seed)
-    else:
-        model = ArrivalModel(
-            rate=spec.rate,
-            mean_duration=spec.duration,
-            popularity_exponent=spec.popularity,
-        )
-        trace = draw_trace(instance, model, spec.horizon, unit.seed, engine="dict")
-    _SIM_CELL_CACHE.clear()
-    _SIM_CELL_CACHE[key] = (instance, trace, engine)
-    return instance, trace, engine
-
-
-def _execute_sim_unit(spec: ScenarioSpec, unit: WorkUnit) -> "dict[str, object]":
-    """Replay one (workload cell, policy) unit; return its checkpoint row.
-
-    The trace seed is the unit's *cell* seed (shared by every policy of
-    the cell), so replays are common-random-number comparable exactly as
-    :func:`repro.sim.simulation.compare_policies` makes them.  Store
-    replays go through :func:`repro.sim.simulation.simulate_store`, so
-    ``store_window`` streams the shared trace in bounded memory — with
-    reports float-identical to monolithic replay by the stitching
-    contract, keeping shard unions byte-identical regardless of window.
-    """
-    from repro.sim.simulation import simulate_store, simulate_trace
-
-    start = time.perf_counter()
-    instance, trace, engine = _sim_cell(spec, unit)
-    if spec.trace_store is not None:
-        report = simulate_store(
-            instance,
-            _sim_policy(unit.policy, unit.seed),
-            trace,
-            spec.horizon,
-            engine=engine,
-            window=spec.store_window,
-        )
-    else:
-        report = simulate_trace(
-            instance,
-            _sim_policy(unit.policy, unit.seed),
-            trace,
-            spec.horizon,
-            engine=engine,
-        )
-    runtime = time.perf_counter() - start
-    return {
-        "unit": unit.index,
-        "id": unit.unit_id,
-        "seed": unit.seed,
-        "name": instance.name,
-        "streams": instance.num_streams,
-        "users": instance.num_users,
-        "replicate": unit.replicate,
-        "policy": unit.policy,
-        "engine": engine,
-        "utility_time": report.utility_time,
-        "acceptance": report.acceptance_rate,
-        "offered": report.offered,
-        "admitted": report.admitted,
-        "deliveries": report.deliveries,
-        "violations": report.policy_violations,
-        "peak_utilization": max(
-            report.peak_server_utilization.values(), default=0.0
-        ),
-        "jain": report.jain_fairness,
-        "runtime": runtime,
-    }
-
-
-def _execute_item(
-    args: "tuple[ScenarioSpec, WorkUnit, dict | None]",
-) -> "tuple[bool, dict[str, object]]":
-    """Pool worker: run one unit, or pass a checkpointed row through.
-
-    Returns ``(was_cached, row)`` so the caller appends only freshly
-    executed rows to the checkpoint.
-    """
-    spec, unit, cached = args
-    if cached is not None:
-        return True, cached
-    if spec.kind == "simulate":
-        return False, _execute_sim_unit(spec, unit)
-    return False, _execute_solve_unit(spec, unit)
-
-
-# ----------------------------------------------------------------------
-# Checkpoints
-# ----------------------------------------------------------------------
-
-
-def read_checkpoint(path: "str | Path") -> "dict[int, dict[str, object]]":
-    """Parse a checkpoint JSONL into ``{unit_index: row}``.
-
-    A malformed line — in practice the torn tail of a killed run — ends
-    the parse: everything before it is kept, it and anything after are
-    re-executed on resume.
-    """
-    rows: "dict[int, dict[str, object]]" = {}
-    path = Path(path)
-    if not path.exists():
-        return rows
-    for line in path.read_text().splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            row = json.loads(line)
-            unit = int(row["unit"])
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            break
-        rows[unit] = row
-    return rows
-
-
-def _row_text(row: "dict[str, object]") -> str:
-    """Canonical one-line JSON form (sorted keys: byte-stable)."""
-    return json.dumps(row, sort_keys=True)
-
-
-# ----------------------------------------------------------------------
-# Running
-# ----------------------------------------------------------------------
+    if isinstance(hosts, (list, tuple)):
+        return resolve_sweep_hosts(",".join(hosts)) if hosts else ()
+    return resolve_sweep_hosts(hosts)
 
 
 def iter_experiment(
@@ -379,6 +82,8 @@ def iter_experiment(
     workers: int = 1,
     checkpoint: "str | Path | None" = None,
     resume: bool = False,
+    transport: "str | None" = None,
+    hosts=None,
 ) -> "Iterator[dict[str, object]]":
     """Stream one run's result rows in unit order (the runner's core).
 
@@ -386,120 +91,37 @@ def iter_experiment(
     are yielded from the file without re-execution; freshly executed
     rows are appended to the checkpoint (and flushed) the moment they
     complete, so a killed run loses at most the row being written.  A
-    non-empty checkpoint is never silently overwritten: continuing one
-    requires ``resume=True``, otherwise this raises.
+    non-empty checkpoint is never silently overwritten (continuing one
+    requires ``resume=True``), never shared between two live writers
+    (the sibling lockfile refuses loudly), and never mixed across specs
+    (every appended row carries the spec's content hash).
+
+    ``transport`` picks where units execute (``"local"`` /
+    ``"subprocess"`` / ``"ssh"``; default resolved via
+    :func:`repro.config.resolve_sweep_transport`) — the rows, their
+    order, and the checkpoint discipline are identical regardless.
     """
     spec = resolve_spec(spec)
-    done: "dict[int, dict[str, object]]" = {}
-    if checkpoint is not None and resume:
-        done = read_checkpoint(checkpoint)
-    out = None
-    if checkpoint is not None:
-        path = Path(checkpoint)
-        if not resume and path.exists() and path.stat().st_size > 0:
-            raise ValidationError(
-                f"checkpoint {str(checkpoint)!r} already has rows; pass "
-                "resume=True (--resume) to continue it, or remove the file "
-                "to start over"
-            )
-        if resume and path.exists():
-            # Repair atomically: write the parseable rows (dropping a
-            # torn tail line from a killed run) to a sibling temp file
-            # and rename it over the checkpoint, so a second kill during
-            # the rewrite can never lose already-completed rows.
-            import os
+    from repro.config import resolve_sweep_transport
 
-            repaired = path.with_name(path.name + ".repair")
-            with repaired.open("w") as handle:
-                for row in done.values():
-                    handle.write(_row_text(row))
-                    handle.write("\n")
-            os.replace(repaired, path)
-        out = path.open("a")
-    items = ((spec, unit, done.get(unit.index)) for unit in spec.expand(shard))
+    transport_name = resolve_sweep_transport(transport)
+    if transport_name != "local" and spec.input == "-":
+        raise ValidationError(
+            "a stdin-backed jsonl spec cannot be distributed (its units "
+            "exist only in this process's stdin); use --remote local"
+        )
+    backend = get_transport(transport_name, hosts=_resolve_hosts(hosts))
+    spec_hash = spec.spec_hash()
+    writer = CheckpointWriter(checkpoint, resume=resume, spec_hash=spec_hash)
     try:
-        for was_cached, row in map_ordered(_execute_item, items, workers=workers):
-            if out is not None and not was_cached:
-                out.write(_row_text(row))
-                out.write("\n")
-                out.flush()
+        rows = backend.run(spec, shard=shard, workers=workers, done=writer.done)
+        for was_cached, row in rows:
+            row.setdefault("spec_hash", spec_hash)
+            if not was_cached:
+                writer.append(row)
             yield row
     finally:
-        if out is not None:
-            out.close()
-
-
-@dataclass
-class ExperimentRun:
-    """Aggregated result of one (possibly sharded/resumed) spec run.
-
-    Attributes
-    ----------
-    spec:
-        The executed spec.
-    rows:
-        One dict per completed unit, sorted by unit index.
-    shard:
-        The shard this run covered (``None`` = the full grid).
-    """
-
-    spec: ScenarioSpec
-    rows: "list[dict[str, object]]" = field(default_factory=list)
-    shard: "tuple[int, int] | None" = None
-
-    @property
-    def objective_key(self) -> str:
-        """The headline metric's row key for this spec kind."""
-        return "utility_time" if self.spec.kind == "simulate" else "utility"
-
-    def columnar(self) -> "dict[str, np.ndarray]":
-        """Per-unit arrays: unit ids, seeds, objective, runtime, Jain."""
-        key = self.objective_key
-        return {
-            "unit": np.array([r["unit"] for r in self.rows], dtype=np.int64),
-            "seed": np.array([r["seed"] for r in self.rows], dtype=np.uint64),
-            "objective": np.array([r[key] for r in self.rows], dtype=np.float64),
-            "runtime": np.array(
-                [r.get("runtime", 0.0) for r in self.rows], dtype=np.float64
-            ),
-            "jain": np.array([r["jain"] for r in self.rows], dtype=np.float64),
-        }
-
-    def to_npz(self, path: "str | Path") -> None:
-        """Write the columnar arrays (plus the spec, as JSON) to ``.npz``."""
-        columns = self.columnar()
-        np.savez_compressed(
-            Path(path),
-            spec=np.frombuffer(
-                json.dumps(self.spec.to_dict(), sort_keys=True).encode(), dtype=np.uint8
-            ),
-            **columns,
-        )
-
-    def to_jsonl(self, path: "str | Path | None" = None) -> str:
-        """Deterministic aggregate JSONL (runtimes stripped, keys sorted).
-
-        Two shard runs merged and an unsharded run of the same spec
-        produce byte-identical text here — the acceptance contract of
-        distributed sweeps.  Returns the text; writes it when ``path``
-        is given.
-        """
-        lines = []
-        for row in self.rows:
-            kept = {
-                k: v for k, v in row.items() if k not in NONDETERMINISTIC_FIELDS
-            }
-            lines.append(_row_text(kept))
-        text = "".join(line + "\n" for line in lines)
-        if path is not None:
-            Path(path).write_text(text)
-        return text
-
-    def missing_units(self) -> "list[int]":
-        """Unit indices of the covered grid that have no row yet."""
-        have = {int(r["unit"]) for r in self.rows}
-        expected = [u.index for u in self.spec.expand(self.shard)]
-        return [i for i in expected if i not in have]
+        writer.close()
 
 
 def run_experiment(
@@ -509,6 +131,8 @@ def run_experiment(
     workers: int = 1,
     checkpoint: "str | Path | None" = None,
     resume: bool = False,
+    transport: "str | None" = None,
+    hosts=None,
 ) -> ExperimentRun:
     """Run a scenario spec (one shard of it) to completion and aggregate.
 
@@ -519,57 +143,35 @@ def run_experiment(
         path, or a builtin spec name.
     shard:
         ``(i, n)`` to run only units with ``index % n == i``;
-        per-unit seeds and results are unchanged by sharding.
+        per-unit seeds and results are unchanged by sharding.  Only the
+        local transport accepts a shard — the others own sharding.
     workers:
-        Process-pool width (``1`` = in-process).
+        Pool width: pool processes (local) or worker processes
+        (subprocess); the ssh transport runs one worker per host.
     checkpoint:
         JSONL path; every completed unit is appended as it finishes.
     resume:
         Re-read ``checkpoint`` first and skip completed units.
+    transport:
+        Execution transport (``None`` = resolve via
+        :func:`repro.config.resolve_sweep_transport`).
+    hosts:
+        ssh worker hosts (sequence or comma string; ``None`` = resolve
+        via :func:`repro.config.resolve_sweep_hosts`).
 
     Returns the :class:`ExperimentRun` with rows sorted by unit index.
     """
     spec = resolve_spec(spec)
     rows = list(
         iter_experiment(
-            spec, shard=shard, workers=workers, checkpoint=checkpoint, resume=resume
+            spec,
+            shard=shard,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            transport=transport,
+            hosts=hosts,
         )
     )
     rows.sort(key=lambda r: int(r["unit"]))
     return ExperimentRun(spec=spec, rows=rows, shard=shard)
-
-
-def merge_checkpoints(
-    spec: "ScenarioSpec | str | Path", paths: "list[str | Path]"
-) -> ExperimentRun:
-    """Aggregate shard checkpoint files into one full-grid run.
-
-    Rows are keyed by unit index (duplicates collapse — re-running a
-    shard is harmless); raises
-    :class:`~repro.exceptions.ValidationError` when the union does not
-    match the spec's grid exactly — units missing from the checkpoints,
-    or checkpoint rows whose unit indices the spec does not expand to
-    (the telltale of merging against the wrong or a stale spec).
-    """
-    spec = resolve_spec(spec)
-    merged: "dict[int, dict[str, object]]" = {}
-    for path in paths:
-        merged.update(read_checkpoint(path))
-    expected = {unit.index for unit in spec.expand()}
-    extra = sorted(set(merged) - expected)
-    if extra:
-        raise ValidationError(
-            f"checkpoints contain {len(extra)} unit ids the spec does not "
-            f"expand to (starting at {extra[:5]}); are these shards from a "
-            "different spec revision?"
-        )
-    missing = sorted(expected - set(merged))
-    if missing:
-        raise ValidationError(
-            f"merged checkpoints cover {len(merged)} units but the spec "
-            f"expands to {len(expected)}; "
-            f"missing unit ids start at {missing[:5]}"
-        )
-    return ExperimentRun(
-        spec=spec, rows=[merged[i] for i in sorted(merged)], shard=None
-    )

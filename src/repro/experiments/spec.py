@@ -58,6 +58,13 @@ SIM_WORKLOADS = ("iptv", "cable-headend", "small-streams")
 #: Admission policies a ``kind="simulate"`` spec may request.
 SIM_POLICIES = ("threshold", "allocate", "density", "random")
 
+#: Row metrics an adaptive sweep may refine on, per spec kind.  Each is
+#: a numeric key present in every checkpoint row of that kind.
+REFINE_METRICS = {
+    "solve": ("utility", "jain"),
+    "simulate": ("utility_time", "acceptance", "jain", "peak_utilization"),
+}
+
 
 @dataclass(frozen=True)
 class WorkUnit:
@@ -160,6 +167,11 @@ class ScenarioSpec:
         Streamed-replay window (time units) for ``trace_store`` units
         under the chunked/batched engines; reports are float-identical
         to monolithic replay, only peak memory changes.
+    refine_metric:
+        Row metric an adaptive sweep scores cells by (one of
+        :data:`REFINE_METRICS` for the spec's kind; ``None`` = the
+        kind's headline objective).  Ignored by plain single-round
+        runs.
     """
 
     name: str
@@ -184,6 +196,7 @@ class ScenarioSpec:
     popularity: float = 1.0
     trace_store: "str | None" = None
     store_window: "float | None" = None
+    refine_metric: "str | None" = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -271,6 +284,14 @@ class ScenarioSpec:
                     f"spec field {field_name!r}: unknown {ENGINE_SETTINGS[kind].label} "
                     f"{value!r}; pick one of {ENGINE_SETTINGS[kind].choices}"
                 )
+        if (
+            self.refine_metric is not None
+            and self.refine_metric not in REFINE_METRICS[self.kind]
+        ):
+            raise SpecError(
+                f"unknown refine_metric {self.refine_metric!r} for "
+                f"kind={self.kind!r}; pick one of {REFINE_METRICS[self.kind]}"
+            )
         return self
 
     #: Arrival-model fields with their defaults (simulation-only).
@@ -437,6 +458,19 @@ class ScenarioSpec:
             data[f.name] = list(value) if isinstance(value, tuple) else value
         return data
 
+    def spec_hash(self) -> str:
+        """Short content hash of the grid (12 hex chars).
+
+        The sha256 of the canonical ``to_dict`` JSON (sorted keys),
+        truncated.  Stamped into every checkpoint row so resume and
+        merge can tell "same spec" from "coincidentally overlapping
+        unit ids" — the distributed-sweep provenance check.
+        """
+        import hashlib
+
+        canonical = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(canonical).hexdigest()[:12]
+
 
 #: Spec fields settable from a file, with their coercions.
 _TUPLE_FIELDS = {
@@ -463,6 +497,7 @@ _SCALAR_FIELDS = {
     "popularity": float,
     "trace_store": str,
     "store_window": float,
+    "refine_metric": str,
 }
 
 

@@ -1,0 +1,79 @@
+"""The :class:`Transport` interface every sweep execution backend fits.
+
+A transport answers one question: *given a spec and the rows already
+checkpointed, produce every remaining row* — as an ordered stream of
+``(was_cached, row)`` pairs, exactly what
+:func:`repro.experiments.execute.execute_item` returns.  Everything
+above (checkpoint appends, aggregation, the CLI) and below (unit
+execution) is shared; a transport only decides *where* units run:
+
+- :class:`~repro.experiments.transport.local.LocalTransport` — this
+  process, optionally over a process pool;
+- :class:`~repro.experiments.transport.subproc.SubprocessTransport` —
+  N worker processes on this machine, each a ``repro sweep --shard``
+  invocation streaming checkpoint rows back over its pipe;
+- :class:`~repro.experiments.transport.ssh.SshTransport` — the same
+  worker protocol over ``ssh host python -m repro ...``.
+
+The ordering contract is strict: rows come back in full-grid unit-index
+order regardless of how workers race, so every transport's streamed
+output — and therefore its aggregate — is byte-identical to a local
+run's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # import cycle: runner composes transports
+    from repro.experiments.spec import ScenarioSpec
+
+
+def graceful_runner_signals() -> None:
+    """Make SIGTERM interrupt a runner exactly like Ctrl-C (SIGINT).
+
+    The runner's checkpoint discipline (append + flush per completed
+    unit) means an interrupted sweep loses at most the in-flight unit;
+    translating SIGTERM into :class:`KeyboardInterrupt` lets the
+    command funnel both signals into one flush-and-exit-130 path.  The
+    CLI installs this for every runner invocation — including the
+    worker processes the subprocess/ssh transports spawn, which is how
+    a terminated worker flushes its checkpoint and exits 130 without
+    any worker-specific signal code.
+    """
+    import signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _interrupt)
+    except (ValueError, OSError):
+        # Not the main thread (embedded use): signals stay untouched.
+        pass
+
+
+class Transport(ABC):
+    """One way of executing a spec's work units (see module docstring)."""
+
+    #: Registry name (``"local"`` / ``"subprocess"`` / ``"ssh"``).
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        spec: "ScenarioSpec",
+        *,
+        shard: "tuple[int, int] | None" = None,
+        workers: int = 1,
+        done: "dict[int, dict[str, object]] | None" = None,
+    ) -> "Iterator[tuple[bool, dict[str, object]]]":
+        """Yield ``(was_cached, row)`` for every unit, in unit order.
+
+        ``done`` maps already-checkpointed unit indices to their rows;
+        a transport must yield those rows with ``was_cached=True``
+        (without charging for re-execution) and everything else freshly
+        executed with ``was_cached=False``, so the caller appends only
+        new rows to its checkpoint.
+        """

@@ -1,0 +1,37 @@
+"""The in-process transport: today's pool path behind the interface.
+
+Behavior-identical to the pre-transport runner: units map over
+:func:`repro.experiments.pipeline.map_ordered` (in-process when
+``workers=1``, a bounded-in-flight process pool otherwise), rows come
+back in unit order by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.experiments.execute import execute_item
+from repro.experiments.pipeline import map_ordered
+from repro.experiments.transport.base import Transport
+
+if TYPE_CHECKING:
+    from repro.experiments.spec import ScenarioSpec
+
+
+class LocalTransport(Transport):
+    """Execute units in this process (or its process pool)."""
+
+    name = "local"
+
+    def run(
+        self,
+        spec: "ScenarioSpec",
+        *,
+        shard: "tuple[int, int] | None" = None,
+        workers: int = 1,
+        done: "dict[int, dict[str, object]] | None" = None,
+    ) -> "Iterator[tuple[bool, dict[str, object]]]":
+        """Map :func:`execute_item` over the (sharded) expansion."""
+        done = done or {}
+        items = ((spec, unit, done.get(unit.index)) for unit in spec.expand(shard))
+        yield from map_ordered(execute_item, items, workers=workers)

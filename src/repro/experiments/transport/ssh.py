@@ -1,0 +1,96 @@
+"""The ssh transport: the subprocess worker protocol on remote hosts.
+
+One worker per host: worker ``i`` of ``len(hosts)`` runs
+
+.. code-block:: text
+
+    ssh <host> env REPRO_SWEEP_TRANSPORT=local \
+        python3 -m repro sweep - --shard i/n --emit checkpoint \
+        --checkpoint /tmp/repro-sweep-<token>-<i>.jsonl -o -
+
+with the spec JSON on stdin, exactly as the subprocess transport does
+locally — the stream merge, ordering, and dead-worker re-dispatch are
+inherited unchanged, so a lost host degrades throughput (its units
+re-run in-process), never completeness or byte-identity.
+
+Differences from the local worker protocol:
+
+- hosts come from ``--hosts`` / ``$REPRO_SWEEP_HOSTS`` (see
+  :func:`repro.config.resolve_sweep_hosts`);
+- worker checkpoints live in the *remote* ``/tmp`` (the parent cannot
+  pre-seed them, so on resume a remote worker recomputes rows the
+  parent already has — the parent discards the duplicates in favor of
+  its checkpointed rows);
+- ``$REPRO_SSH_CMD`` overrides the ssh client (e.g. ``ssh -o
+  BatchMode=yes``, or a test stub) and ``$REPRO_SSH_PYTHON`` the
+  remote interpreter (default ``python3``, which must have ``repro``
+  importable on the host).
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import uuid
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+from repro.experiments.transport.subproc import SubprocessTransport
+
+#: Environment variable overriding the ssh client command line.
+SSH_CMD_ENV = "REPRO_SSH_CMD"
+
+#: Environment variable naming the remote Python interpreter.
+SSH_PYTHON_ENV = "REPRO_SSH_PYTHON"
+
+
+class SshTransport(SubprocessTransport):
+    """Execute units across ssh hosts (one worker per host)."""
+
+    name = "ssh"
+
+    def __init__(self, hosts: "tuple[str, ...]"):
+        """Bind the transport to its worker host list (non-empty)."""
+        if not hosts:
+            raise ValidationError(
+                "the ssh transport needs worker hosts; pass --hosts a,b,c "
+                "or set $REPRO_SWEEP_HOSTS"
+            )
+        self.hosts = tuple(hosts)
+        self._token = uuid.uuid4().hex[:8]
+
+    def _num_workers(self, workers: int) -> int:
+        """One worker per configured host (``--workers`` is per-host N/A)."""
+        return len(self.hosts)
+
+    def _checkpoint_for(self, scratch: Path, index: int) -> str:
+        """Worker ``index``'s checkpoint path *on its remote host*."""
+        return f"/tmp/repro-sweep-{self._token}-{index}.jsonl"
+
+    def _preseed(self, checkpoint: str, rows) -> bool:
+        """Remote checkpoints cannot be pre-seeded from here: recompute.
+
+        The parent keeps its own checkpointed rows authoritative (the
+        merge prefers them over a worker's recompute), so resume still
+        never loses or duplicates a unit.
+        """
+        return False
+
+    def _command(
+        self, index: int, total: int, checkpoint: str, resume: bool
+    ) -> "list[str]":
+        """The ssh command line running worker ``index`` on its host."""
+        ssh = shlex.split(os.environ.get(SSH_CMD_ENV, "ssh"))
+        python = os.environ.get(SSH_PYTHON_ENV, "python3")
+        return ssh + [
+            self.hosts[index],
+            "env", "REPRO_SWEEP_TRANSPORT=local",
+            python, "-m", "repro", "sweep", "-",
+            "--shard", f"{index}/{total}", "--workers", "1",
+            "--emit", "checkpoint", "--checkpoint", checkpoint,
+            "--output", "-",
+        ]
+
+    def _worker_env(self) -> "dict[str, str]":
+        """The ssh client's local environment (guard rides the argv)."""
+        return dict(os.environ)

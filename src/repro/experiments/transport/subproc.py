@@ -1,0 +1,226 @@
+"""The subprocess transport: N local worker processes over pipes.
+
+Fan-out shape (the worker protocol the ssh transport reuses):
+
+- the parent spawns ``N`` workers, each running ``repro sweep -
+  --shard i/N --emit checkpoint --checkpoint <file> -o -`` with the
+  spec's canonical JSON written to its stdin — workers therefore
+  execute *exactly* the sharded CLI path, including the PR 8 graceful
+  SIGTERM handling (flush checkpoint, exit 130);
+- each worker streams its **full checkpoint rows** (JSONL, flushed per
+  completed unit) back over stdout; the parent reorders the racing
+  streams into full-grid unit order, so the merged stream — and hence
+  the aggregate — is byte-identical to a local run;
+- ``REPRO_SWEEP_TRANSPORT=local`` is pinned in every worker's
+  environment so a worker never recursively fans out;
+- resume support: rows already in the parent's checkpoint are
+  pre-seeded into each worker's own checkpoint file (the worker then
+  runs ``--resume`` and passes them through without re-execution);
+- **dead workers**: a worker that exits early (crash, OOM, lost host)
+  simply stops producing rows; once every stream has closed, the
+  parent re-dispatches the unfinished units in-process — the same
+  missing-unit arithmetic :func:`~repro.experiments.aggregate.merge_checkpoints`
+  uses — so one lost worker degrades throughput, never completeness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from queue import Queue
+from typing import TYPE_CHECKING, Iterator
+
+from repro.exceptions import ValidationError
+from repro.experiments.checkpoint import row_text
+from repro.experiments.execute import execute_item
+from repro.experiments.transport.base import Transport
+
+if TYPE_CHECKING:
+    from repro.experiments.spec import ScenarioSpec
+
+
+class SubprocessTransport(Transport):
+    """Execute units across N ``repro sweep --shard`` worker processes."""
+
+    name = "subprocess"
+
+    # -- worker-protocol hooks (the ssh transport overrides these) -----
+
+    def _num_workers(self, workers: int) -> int:
+        """How many workers to spawn for a requested pool width."""
+        return max(1, int(workers))
+
+    def _checkpoint_for(self, scratch: Path, index: int) -> str:
+        """Worker ``index``'s own checkpoint file path."""
+        return str(scratch / f"worker{index}.jsonl")
+
+    def _preseed(
+        self, checkpoint: str, rows: "list[dict[str, object]]"
+    ) -> bool:
+        """Seed a worker checkpoint with already-done rows; True = resume."""
+        if not rows:
+            return False
+        with open(checkpoint, "w") as handle:
+            for row in rows:
+                handle.write(row_text(row))
+                handle.write("\n")
+        return True
+
+    def _command(
+        self, index: int, total: int, checkpoint: str, resume: bool
+    ) -> "list[str]":
+        """The worker's argv (one shard of the spec, checkpoint emission)."""
+        cmd = [
+            sys.executable, "-m", "repro", "sweep", "-",
+            "--shard", f"{index}/{total}", "--workers", "1",
+            "--emit", "checkpoint", "--checkpoint", checkpoint,
+            "--output", "-",
+        ]
+        if resume:
+            cmd.append("--resume")
+        return cmd
+
+    def _worker_env(self) -> "dict[str, str]":
+        """Worker environment: inherit, but pin the transport to local."""
+        env = dict(os.environ)
+        env["REPRO_SWEEP_TRANSPORT"] = "local"
+        return env
+
+    # -- fan-out ------------------------------------------------------
+
+    def run(
+        self,
+        spec: "ScenarioSpec",
+        *,
+        shard: "tuple[int, int] | None" = None,
+        workers: int = 1,
+        done: "dict[int, dict[str, object]] | None" = None,
+    ) -> "Iterator[tuple[bool, dict[str, object]]]":
+        """Fan the full grid out to workers; yield rows in unit order."""
+        if shard is not None:
+            raise ValidationError(
+                f"the {self.name} transport owns sharding itself; "
+                "combine --shard only with --remote local"
+            )
+        done = done or {}
+        units = {u.index: u for u in spec.expand()}
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-") as scratch:
+            yield from self._fan_out(spec, units, done, workers, Path(scratch))
+
+    def _spawn(
+        self,
+        spec: "ScenarioSpec",
+        index: int,
+        total: int,
+        scratch: Path,
+        done: "dict[int, dict[str, object]]",
+        units: "dict[int, object]",
+    ) -> "subprocess.Popen[str]":
+        """Start worker ``index`` and hand it the spec over stdin."""
+        checkpoint = self._checkpoint_for(scratch, index)
+        mine = [
+            done[i] for i in sorted(done) if i in units and i % total == index
+        ]
+        resume = self._preseed(checkpoint, mine)
+        proc = subprocess.Popen(
+            self._command(index, total, checkpoint, resume),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=self._worker_env(),
+            text=True,
+        )
+        spec_json = json.dumps(spec.to_dict(), sort_keys=True)
+        try:
+            proc.stdin.write(spec_json)
+            proc.stdin.close()
+        except BrokenPipeError:
+            pass  # worker died at startup: the EOF path re-dispatches
+        return proc
+
+    @staticmethod
+    def _read_stream(proc, index: int, queue: "Queue") -> None:
+        """Reader thread: worker stdout lines → the merge queue."""
+        try:
+            for line in proc.stdout:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line from a dying worker
+                if isinstance(row, dict) and "unit" in row:
+                    queue.put(("row", index, row))
+        finally:
+            queue.put(("eof", index, proc.wait()))
+
+    @staticmethod
+    def _emit(index: int, row, done):
+        """One ordered pair: the checkpointed row wins over a recompute."""
+        if index in done:
+            return True, done[index]
+        return False, row
+
+    def _fan_out(self, spec, units, done, workers, scratch):
+        """Spawn, merge-in-order, and re-dispatch (the transport core)."""
+        expected = sorted(units)
+        total = self._num_workers(workers)
+        queue: "Queue" = Queue()
+        procs = []
+        try:
+            for index in range(total):
+                procs.append(
+                    self._spawn(spec, index, total, scratch, done, units)
+                )
+            for index, proc in enumerate(procs):
+                threading.Thread(
+                    target=self._read_stream,
+                    args=(proc, index, queue),
+                    daemon=True,
+                ).start()
+            buffered: "dict[int, dict[str, object]]" = {}
+            position = 0
+            closed = 0
+            failures = []
+            while closed < total:
+                kind, index, payload = queue.get()
+                if kind == "eof":
+                    closed += 1
+                    if payload != 0:
+                        failures.append((index, payload))
+                    continue
+                unit_index = int(payload["unit"])
+                if unit_index in units:
+                    buffered.setdefault(unit_index, payload)
+                while position < len(expected) and expected[position] in buffered:
+                    current = expected[position]
+                    position += 1
+                    yield self._emit(current, buffered.pop(current), done)
+            for index, code in failures:
+                print(
+                    f"sweep worker {index}/{total} exited with code {code}; "
+                    "re-dispatching its unfinished units in-process",
+                    file=sys.stderr,
+                )
+            # Every stream is closed: anything still missing is owned by
+            # a dead worker — re-dispatch it in-process, in unit order.
+            for current in expected[position:]:
+                if current in buffered:
+                    yield self._emit(current, buffered.pop(current), done)
+                else:
+                    yield execute_item((spec, units[current], done.get(current)))
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()

@@ -30,7 +30,7 @@ CHECKED_FILES = sorted(
         SRC / "sim" / "store.py",
         SRC / "util" / "atomic.py",
         *(SRC / "instances").glob("*.py"),
-        *(SRC / "experiments").glob("*.py"),
+        *(SRC / "experiments").rglob("*.py"),
         *(SRC / "serve").glob("*.py"),
     ]
 )

@@ -281,7 +281,7 @@ class TestRunner:
             merge_checkpoints(smaller, [path])
 
     def test_resume_skips_completed_units(self, tmp_path, monkeypatch):
-        import repro.experiments.runner as runner_mod
+        import repro.experiments.execute as execute_mod
 
         path = tmp_path / "ckpt.jsonl"
         full = run_experiment(SMOKE, checkpoint=path)
@@ -289,13 +289,13 @@ class TestRunner:
         # Kill simulation: two complete rows survive plus a torn third.
         path.write_text("\n".join(lines[:2]) + "\n" + lines[2][:20])
         executed = []
-        original = runner_mod._execute_solve_unit
+        original = execute_mod._execute_solve_unit
 
         def counting(spec, unit):
             executed.append(unit.index)
             return original(spec, unit)
 
-        monkeypatch.setattr(runner_mod, "_execute_solve_unit", counting)
+        monkeypatch.setattr(execute_mod, "_execute_solve_unit", counting)
         resumed = run_experiment(SMOKE, checkpoint=path, resume=True)
         assert executed == [2, 3]  # 0 and 1 came from the checkpoint
         assert resumed.to_jsonl() == full.to_jsonl()

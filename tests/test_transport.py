@@ -1,0 +1,341 @@
+"""Distributed sweep transports: byte-identity, locks, re-dispatch.
+
+The transport layer's whole contract is "same bytes, different
+machines": for any spec, the ``subprocess`` and ``ssh`` transports must
+produce aggregates byte-identical to a ``local`` run, survive dead
+workers by re-dispatching their units, refuse to share a checkpoint
+file between two live writers, and let a SIGTERMed worker flush its
+checkpoint and exit 130 through the same CLI handler a foreground run
+uses.
+
+The ssh transport is exercised through a fake-ssh stub (a shell script
+that drops the hostname and execs the rest of the command locally), so
+the full remote protocol — command line, stdin spec hand-off, remote
+checkpoint path, stream merge — runs without a real network.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config import (
+    SWEEP_HOSTS_ENV,
+    SWEEP_TRANSPORT_ENV,
+    resolve_sweep_hosts,
+    resolve_sweep_transport,
+)
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    ScenarioSpec,
+    get_transport,
+    merge_checkpoints,
+    read_checkpoint,
+    run_experiment,
+)
+from repro.experiments.checkpoint import CheckpointWriter
+from repro.experiments.transport.subproc import SubprocessTransport
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+SMOKE = ScenarioSpec(
+    name="smoke", kind="solve", family="sweep",
+    streams=(6, 8), users=(4,), skews=(1.0, 4.0), params={"density": 0.3},
+)
+
+SIM = ScenarioSpec(
+    name="sim", kind="simulate", family="iptv",
+    streams=(8,), users=(4,), replicates=2,
+    policies=("threshold", "density"), horizon=40.0, duration=10.0,
+)
+
+
+@pytest.fixture()
+def worker_env(monkeypatch):
+    """Ensure spawned `python -m repro` workers can import the package."""
+    existing = os.environ.get("PYTHONPATH")
+    joined = str(SRC) if not existing else f"{SRC}{os.pathsep}{existing}"
+    monkeypatch.setenv("PYTHONPATH", joined)
+
+
+@pytest.fixture()
+def fake_ssh(tmp_path, monkeypatch, worker_env):
+    """A stub ssh client: drop the host argument, exec the rest locally."""
+    stub = tmp_path / "fake-ssh"
+    stub.write_text("#!/bin/sh\nshift\nexec \"$@\"\n")
+    stub.chmod(0o755)
+    monkeypatch.setenv("REPRO_SSH_CMD", str(stub))
+    monkeypatch.setenv("REPRO_SSH_PYTHON", sys.executable)
+    return stub
+
+
+class TestResolvers:
+    def test_transport_precedence(self, monkeypatch):
+        assert resolve_sweep_transport() == "local"
+        monkeypatch.setenv(SWEEP_TRANSPORT_ENV, "subprocess")
+        assert resolve_sweep_transport() == "subprocess"
+        assert resolve_sweep_transport("ssh") == "ssh"  # arg beats env
+
+    def test_transport_junk_is_loud(self, monkeypatch):
+        with pytest.raises(ValidationError, match="transport"):
+            resolve_sweep_transport("carrier-pigeon")
+        monkeypatch.setenv(SWEEP_TRANSPORT_ENV, "junk")
+        with pytest.raises(ValidationError, match="junk"):
+            resolve_sweep_transport()
+
+    def test_hosts_parsing(self, monkeypatch):
+        assert resolve_sweep_hosts() == ()
+        assert resolve_sweep_hosts("a, b ,c") == ("a", "b", "c")
+        monkeypatch.setenv(SWEEP_HOSTS_ENV, "x,y")
+        assert resolve_sweep_hosts() == ("x", "y")
+        with pytest.raises(ValidationError, match="host"):
+            resolve_sweep_hosts("a,,b")
+
+    def test_registry(self):
+        assert get_transport("local").name == "local"
+        assert get_transport("subprocess").name == "subprocess"
+        assert get_transport("ssh", hosts=("h",)).name == "ssh"
+        with pytest.raises(ValidationError, match="unknown sweep transport"):
+            get_transport("smoke-signals")
+        with pytest.raises(ValidationError, match="hosts"):
+            get_transport("ssh")
+
+    def test_cli_junk_remote_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SMOKE.to_dict()))
+        assert main(["sweep", str(spec_path), "--remote", "junk"]) == 2
+        capsys.readouterr()
+
+
+class TestSubprocessTransport:
+    def test_solve_byte_identical_to_local(self, worker_env):
+        local = run_experiment(SMOKE)
+        remote = run_experiment(SMOKE, transport="subprocess", workers=2)
+        assert remote.to_jsonl() == local.to_jsonl()
+
+    def test_simulate_byte_identical_to_local(self, worker_env):
+        local = run_experiment(SIM)
+        remote = run_experiment(SIM, transport="subprocess", workers=3)
+        assert remote.to_jsonl() == local.to_jsonl()
+
+    def test_resume_preseeds_workers(self, tmp_path, worker_env):
+        ckpt = tmp_path / "ckpt.jsonl"
+        full = run_experiment(SMOKE, checkpoint=ckpt)
+        lines = ckpt.read_text().splitlines()
+        ckpt.write_text("\n".join(lines[:2]) + "\n")  # lose half the run
+        resumed = run_experiment(
+            SMOKE, checkpoint=ckpt, resume=True,
+            transport="subprocess", workers=2,
+        )
+        assert resumed.to_jsonl() == full.to_jsonl()
+        assert sorted(read_checkpoint(ckpt)) == [0, 1, 2, 3]
+
+    def test_dead_worker_units_are_redispatched(
+        self, worker_env, monkeypatch, capsys
+    ):
+        original = SubprocessTransport._command
+
+        def sabotaged(self, index, total, checkpoint, resume):
+            if index == 1:
+                return ["sh", "-c", "exit 7"]  # worker dies immediately
+            return original(self, index, total, checkpoint, resume)
+
+        monkeypatch.setattr(SubprocessTransport, "_command", sabotaged)
+        local = run_experiment(SMOKE)
+        remote = run_experiment(SMOKE, transport="subprocess", workers=2)
+        assert remote.to_jsonl() == local.to_jsonl()
+        assert "re-dispatching" in capsys.readouterr().err
+
+    def test_rejects_shard(self):
+        with pytest.raises(ValidationError, match="shard"):
+            run_experiment(SMOKE, shard=(0, 2), transport="subprocess")
+
+    def test_rejects_stdin_jsonl(self):
+        spec = ScenarioSpec(name="pipe", kind="solve", family="jsonl", input="-")
+        with pytest.raises(ValidationError, match="stdin"):
+            run_experiment(spec, transport="subprocess")
+
+    def test_cli_remote_matches_local_bytes(self, tmp_path, worker_env):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SMOKE.to_dict()))
+        local_out = tmp_path / "local.jsonl"
+        remote_out = tmp_path / "remote.jsonl"
+        assert main(["sweep", str(spec_path), "-o", str(local_out)]) == 0
+        assert main(["sweep", str(spec_path), "--remote", "subprocess",
+                     "--workers", "2", "-o", str(remote_out)]) == 0
+        assert remote_out.read_bytes() == local_out.read_bytes()
+
+
+class TestSshTransport:
+    def test_byte_identical_to_local(self, fake_ssh):
+        local = run_experiment(SMOKE)
+        remote = run_experiment(
+            SMOKE, transport="ssh", hosts=("hostA", "hostB")
+        )
+        assert remote.to_jsonl() == local.to_jsonl()
+
+    def test_hosts_from_environment(self, fake_ssh, monkeypatch):
+        monkeypatch.setenv(SWEEP_HOSTS_ENV, "hostA,hostB")
+        local = run_experiment(SMOKE)
+        remote = run_experiment(SMOKE, transport="ssh")
+        assert remote.to_jsonl() == local.to_jsonl()
+
+    def test_lost_host_degrades_to_redispatch(self, fake_ssh, monkeypatch):
+        from repro.experiments.transport.ssh import SshTransport
+
+        original = SshTransport._command
+
+        def unreachable(self, index, total, checkpoint, resume):
+            if index == 0:
+                return ["sh", "-c", "exit 255"]  # ssh's connection-failed code
+            return original(self, index, total, checkpoint, resume)
+
+        monkeypatch.setattr(SshTransport, "_command", unreachable)
+        local = run_experiment(SMOKE)
+        remote = run_experiment(SMOKE, transport="ssh", hosts=("down", "up"))
+        assert remote.to_jsonl() == local.to_jsonl()
+
+
+class TestConcurrentWriters:
+    def test_second_writer_is_refused(self, tmp_path):
+        ckpt = tmp_path / "shared.jsonl"
+        first = CheckpointWriter(ckpt)
+        try:
+            with pytest.raises(ValidationError, match="already being written"):
+                CheckpointWriter(ckpt, resume=True)
+        finally:
+            first.close()
+        # Released: a new writer may now continue the file.
+        CheckpointWriter(ckpt, resume=True).close()
+
+    def test_two_transports_cannot_share_a_checkpoint(self, tmp_path):
+        from repro.experiments.runner import iter_experiment
+
+        ckpt = tmp_path / "shared.jsonl"
+        stream = iter_experiment(SMOKE, checkpoint=ckpt)
+        next(stream)  # first writer is live and holds the lock
+        try:
+            with pytest.raises(ValidationError, match="already being written"):
+                list(iter_experiment(SMOKE, checkpoint=ckpt, resume=True))
+        finally:
+            stream.close()
+        assert not (tmp_path / "shared.jsonl.lock").exists()
+
+    def test_stale_lock_is_taken_over(self, tmp_path):
+        import socket
+
+        ckpt = tmp_path / "ckpt.jsonl"
+        # A plausibly-dead pid: spawn a process and let it exit.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        (tmp_path / "ckpt.jsonl.lock").write_text(json.dumps(
+            {"pid": proc.pid, "host": socket.gethostname()}
+        ))
+        run = run_experiment(SMOKE, checkpoint=ckpt)  # no refusal
+        assert len(run.rows) == 4
+
+    def test_foreign_host_lock_is_refused(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        (tmp_path / "ckpt.jsonl.lock").write_text(json.dumps(
+            {"pid": 1, "host": "some-other-machine"}
+        ))
+        with pytest.raises(ValidationError, match="some-other-machine"):
+            run_experiment(SMOKE, checkpoint=ckpt)
+
+
+class TestSpecHashProvenance:
+    def test_rows_are_stamped(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        run_experiment(SMOKE, checkpoint=ckpt)
+        rows = read_checkpoint(ckpt)
+        assert all(r["spec_hash"] == SMOKE.spec_hash() for r in rows.values())
+
+    def test_aggregate_strips_the_stamp(self, tmp_path):
+        run = run_experiment(SMOKE)
+        assert "spec_hash" not in json.loads(run.to_jsonl().splitlines()[0])
+
+    def test_merge_reports_both_hashes_for_foreign_shards(self, tmp_path):
+        path = tmp_path / "all.jsonl"
+        run_experiment(SMOKE, checkpoint=path)  # 4 units
+        smaller = ScenarioSpec(
+            name="half", kind="solve", family="sweep",
+            streams=(6,), users=(4,), skews=(1.0, 4.0),
+            params={"density": 0.3},
+        )
+        with pytest.raises(ValidationError, match="different spec") as exc:
+            merge_checkpoints(smaller, [path])
+        message = str(exc.value)
+        assert SMOKE.spec_hash() in message
+        assert smaller.spec_hash() in message
+
+    def test_merge_detects_same_shape_different_spec(self, tmp_path):
+        # Same unit indices, different grid content: only the hash
+        # can tell these apart.
+        path = tmp_path / "all.jsonl"
+        run_experiment(SMOKE, checkpoint=path)
+        shifted = ScenarioSpec(
+            name="shifted", kind="solve", family="sweep",
+            streams=(6, 8), users=(4,), skews=(1.0, 4.0),
+            params={"density": 0.3}, base_seed=99,
+        )
+        with pytest.raises(ValidationError, match="different spec") as exc:
+            merge_checkpoints(shifted, [path])
+        assert SMOKE.spec_hash() in str(exc.value)
+        assert shifted.spec_hash() in str(exc.value)
+
+    def test_resume_refuses_foreign_spec_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        run_experiment(SMOKE, checkpoint=ckpt)
+        shifted = ScenarioSpec(
+            name="shifted", kind="solve", family="sweep",
+            streams=(6, 8), users=(4,), skews=(1.0, 4.0),
+            params={"density": 0.3}, base_seed=99,
+        )
+        with pytest.raises(ValidationError, match="different spec"):
+            run_experiment(shifted, checkpoint=ckpt, resume=True)
+
+
+class TestWorkerSigterm:
+    def test_worker_flushes_checkpoint_and_exits_130(self, tmp_path, worker_env):
+        # The exact command line the subprocess transport spawns, killed
+        # mid-run: the PR 8 CLI handler must flush and exit 130.
+        slow = ScenarioSpec(
+            name="slow", kind="simulate", family="iptv",
+            streams=(8,), users=(4,), replicates=30,
+            policies=("threshold",), horizon=120.0, duration=10.0,
+        )
+        ckpt = tmp_path / "worker.jsonl"
+        transport = SubprocessTransport()
+        proc = subprocess.Popen(
+            transport._command(0, 1, str(ckpt), False),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=transport._worker_env(),
+            text=True,
+        )
+        proc.stdin.write(json.dumps(slow.to_dict(), sort_keys=True))
+        proc.stdin.close()
+        assert proc.stdout.readline().strip()  # first row is flushed
+        deadline = time.time() + 30
+        while time.time() < deadline and not ckpt.exists():
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        stderr = proc.stderr.read()
+        assert proc.returncode == 130, stderr
+        assert "rerun with --resume" in stderr
+        done = read_checkpoint(ckpt)
+        assert done  # completed units were flushed before exit
+        assert len(done) < 30  # ... and the run really was interrupted
